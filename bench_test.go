@@ -1,0 +1,327 @@
+// Benchmarks regenerating every figure of the paper's evaluation (§6).
+// Each BenchmarkFigNN runs the corresponding experiment end to end and
+// reports the final relative error per algorithm as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the full evaluation and records the headline numbers.
+// EXPERIMENTS.md holds the paper-vs-measured discussion.
+package dynagg_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	dynagg "github.com/dynagg/dynagg"
+	"github.com/dynagg/dynagg/internal/agg"
+	"github.com/dynagg/dynagg/internal/estimator"
+	"github.com/dynagg/dynagg/internal/experiments"
+	"github.com/dynagg/dynagg/internal/hiddendb"
+	"github.com/dynagg/dynagg/internal/querytree"
+	"github.com/dynagg/dynagg/internal/workload"
+)
+
+// benchFigure runs one figure per iteration and reports per-series tail
+// means as metrics.
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	opt := experiments.DefaultOptions()
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Run(id, opt)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		fig = f
+	}
+	if fig == nil {
+		return
+	}
+	for _, s := range fig.Series {
+		tail := len(s.Y) / 5
+		if tail < 1 {
+			tail = 1
+		}
+		var sum float64
+		n := 0
+		for _, v := range s.Y[len(s.Y)-tail:] {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				sum += v
+				n++
+			}
+		}
+		if n > 0 {
+			b.ReportMetric(sum/float64(n), "final_"+sanitizeMetric(s.Label))
+		}
+	}
+}
+
+func sanitizeMetric(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func BenchmarkFig02RelativeError(b *testing.B)    { benchFigure(b, "fig2") }
+func BenchmarkFig03ErrorBar(b *testing.B)         { benchFigure(b, "fig3") }
+func BenchmarkFig04IntraRound(b *testing.B)       { benchFigure(b, "fig4") }
+func BenchmarkFig05LittleChange(b *testing.B)     { benchFigure(b, "fig5") }
+func BenchmarkFig06BigChange(b *testing.B)        { benchFigure(b, "fig6") }
+func BenchmarkFig07BigChangeK1(b *testing.B)      { benchFigure(b, "fig7") }
+func BenchmarkFig08EffectOfK(b *testing.B)        { benchFigure(b, "fig8") }
+func BenchmarkFig09QueryBudget(b *testing.B)      { benchFigure(b, "fig9") }
+func BenchmarkFig10InsDel(b *testing.B)           { benchFigure(b, "fig10") }
+func BenchmarkFig11EffectOfM(b *testing.B)        { benchFigure(b, "fig11") }
+func BenchmarkFig12DatabaseSize(b *testing.B)     { benchFigure(b, "fig12") }
+func BenchmarkFig13SumConditions(b *testing.B)    { benchFigure(b, "fig13") }
+func BenchmarkFig14RunningAverage(b *testing.B)   { benchFigure(b, "fig14") }
+func BenchmarkFig15DeltaSmallChange(b *testing.B) { benchFigure(b, "fig15") }
+func BenchmarkFig16DeltaAbsolute(b *testing.B)    { benchFigure(b, "fig16") }
+func BenchmarkFig17DeltaBigChange(b *testing.B)   { benchFigure(b, "fig17") }
+func BenchmarkFig18AccuracyVsBudget(b *testing.B) { benchFigure(b, "fig18") }
+func BenchmarkFig19DrillDowns(b *testing.B)       { benchFigure(b, "fig19") }
+func BenchmarkFig20AmazonLive(b *testing.B)       { benchFigure(b, "fig20") }
+func BenchmarkFig21EBayLive(b *testing.B)         { benchFigure(b, "fig21") }
+
+// ---------------------------------------------------------------------
+// Ablation benches (DESIGN.md "Design decisions & ablations")
+// ---------------------------------------------------------------------
+
+// BenchmarkAblationClientCache compares RESTART's drill-down throughput
+// with and without the client-side per-round answer cache (the paper's
+// cost model charges every query; the cache is the ablation).
+func BenchmarkAblationClientCache(b *testing.B) {
+	for _, cache := range []bool{false, true} {
+		name := "paper-accounting"
+		if cache {
+			name = "client-cache"
+		}
+		b.Run(name, func(b *testing.B) {
+			data := workload.AutosLikeN(1, 20000, 12)
+			env, err := workload.NewEnv(data, 18000, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			iface := hiddendb.NewIface(env.Store, 200, nil)
+			drills := 0
+			for i := 0; i < b.N; i++ {
+				cfg := estimator.Config{Rand: rand.New(rand.NewSource(7)), ClientCache: cache}
+				e, err := estimator.NewRestart(env.Store.Schema(), []*agg.Aggregate{agg.CountAll()}, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := e.Step(iface.NewSession(300)); err != nil {
+					b.Fatal(err)
+				}
+				drills = e.DrillDowns()
+			}
+			b.ReportMetric(float64(drills), "drills/round")
+		})
+	}
+}
+
+// BenchmarkAblationRSPilot sweeps RS's bootstrap parameter ϖ.
+func BenchmarkAblationRSPilot(b *testing.B) {
+	for _, pilot := range []int{5, 10, 20} {
+		b.Run(map[int]string{5: "pilot5", 10: "pilot10", 20: "pilot20"}[pilot], func(b *testing.B) {
+			var finalErr float64
+			for i := 0; i < b.N; i++ {
+				data := workload.AutosLikeN(1, 20000, 12)
+				env, err := workload.NewEnv(data, 18000, 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				iface := hiddendb.NewIface(env.Store, 200, nil)
+				cfg := estimator.Config{Rand: rand.New(rand.NewSource(7)), Pilot: pilot}
+				e, err := estimator.NewRS(env.Store.Schema(), []*agg.Aggregate{agg.CountAll()}, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for round := 1; round <= 10; round++ {
+					if round > 1 {
+						if err := env.InsertFromPool(100); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if err := e.Step(iface.NewSession(300)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				est, _ := e.Estimate(0)
+				truth := float64(env.Store.Size())
+				finalErr = math.Abs(est.Value-truth) / truth
+			}
+			b.ReportMetric(finalErr, "final_relerr")
+		})
+	}
+}
+
+// BenchmarkAblationCountMetadata quantifies the §8 count-guided
+// extension: with (capped) result counts available, COUNT(*) tracking is
+// exact at a per-round cost equal to the frontier size — compare the
+// reported final_relerr with the sampling estimators'.
+func BenchmarkAblationCountMetadata(b *testing.B) {
+	var finalErr, frontier float64
+	for i := 0; i < b.N; i++ {
+		data := workload.AutosLikeN(1, 40000, 38)
+		env, err := workload.NewEnv(data, 36000, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ci := hiddendb.NewCountingIface(env.Store, 250, nil, 1000)
+		ca := estimator.NewCountAssisted(env.Store.Schema())
+		for round := 1; round <= 10; round++ {
+			if round > 1 {
+				if err := env.DeleteFraction(0.001); err != nil {
+					b.Fatal(err)
+				}
+				if err := env.InsertFromPool(300); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := ca.Step(ci.NewCountingSession(500)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		truth := float64(env.Store.Size())
+		finalErr = math.Abs(ca.Estimate()-truth) / truth
+		frontier = float64(ca.FrontierSize())
+	}
+	b.ReportMetric(finalErr, "final_relerr")
+	b.ReportMetric(frontier, "frontier_size")
+}
+
+// BenchmarkAblationCrawl measures the §1 "track all changes" strawman: a
+// full enumeration crawl of a modest database versus the drill-down
+// budget the paper's estimators need. The reported crawl_queries is the
+// cost of ONE complete snapshot — two are needed before any change can be
+// diffed.
+func BenchmarkAblationCrawl(b *testing.B) {
+	var crawlCost float64
+	for i := 0; i < b.N; i++ {
+		data := workload.AutosLikeN(1, 30000, 12)
+		env, err := workload.NewEnv(data, 28000, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		iface := hiddendb.NewIface(env.Store, 100, nil)
+		c := estimator.NewCrawl(env.Store.Schema())
+		res, err := c.Run(iface.AsSearcher())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Complete {
+			b.Fatal("crawl incomplete without budget")
+		}
+		crawlCost = float64(res.Cost)
+	}
+	b.ReportMetric(crawlCost, "crawl_queries")
+}
+
+// ---------------------------------------------------------------------
+// Micro-benchmarks of the substrate
+// ---------------------------------------------------------------------
+
+// BenchmarkStoreSearch measures the simulated interface's query latency
+// on a paper-scale store (uncached worst case: the store version changes
+// between queries).
+func BenchmarkStoreSearch(b *testing.B) {
+	data := workload.AutosLikeN(1, 100000, 38)
+	env, err := workload.NewEnv(data, 100000, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	iface := hiddendb.NewIface(env.Store, 1000, nil)
+	q := hiddendb.NewQuery(hiddendb.Pred{Attr: 0, Val: 0}, hiddendb.Pred{Attr: 1, Val: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Touch the store version so the cache cannot serve the answer.
+		if err := env.Store.Replace(uint64(i%1000+1), func(*dynagg.Tuple) {}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := iface.Search(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDrillDown measures one fresh drill down end to end.
+func BenchmarkDrillDown(b *testing.B) {
+	data := workload.AutosLikeN(1, 100000, 38)
+	env, err := workload.NewEnv(data, 100000, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	iface := hiddendb.NewIface(env.Store, 1000, nil)
+	tree := querytree.New(env.Store.Schema())
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sig := tree.RandomSignature(rng)
+		if _, err := querytree.DrillFromRoot(iface.AsSearcher(), tree, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUpdateDrill measures a reissued drill-down update on a store
+// that changed since the last round.
+func BenchmarkUpdateDrill(b *testing.B) {
+	data := workload.AutosLikeN(1, 100000, 38)
+	env, err := workload.NewEnv(data, 90000, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	iface := hiddendb.NewIface(env.Store, 1000, nil)
+	tree := querytree.New(env.Store.Schema())
+	rng := rand.New(rand.NewSource(3))
+	type saved struct {
+		sig   querytree.Signature
+		depth int
+	}
+	var drills []saved
+	for i := 0; i < 64; i++ {
+		sig := tree.RandomSignature(rng)
+		o, err := querytree.DrillFromRoot(iface.AsSearcher(), tree, sig)
+		if err != nil {
+			b.Fatal(err)
+		}
+		drills = append(drills, saved{sig, o.Depth})
+	}
+	if err := env.InsertFromPool(1000); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := drills[i%len(drills)]
+		if _, err := querytree.UpdateDrill(iface.AsSearcher(), tree, d.sig, d.depth); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkApplyBatch measures the store's batched round update.
+func BenchmarkApplyBatch(b *testing.B) {
+	data := workload.AutosLikeN(1, 120000, 38)
+	env, err := workload.NewEnv(data, 100000, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := env.DeleteFraction(0.001); err != nil {
+			b.Fatal(err)
+		}
+		if err := env.InsertFromPool(100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

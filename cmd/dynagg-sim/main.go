@@ -1,0 +1,138 @@
+// Command dynagg-sim runs an interactive tracking simulation: a synthetic
+// hidden database evolves round by round while one or more estimators
+// track an aggregate through the restrictive top-k interface.
+//
+// Usage examples:
+//
+//	dynagg-sim                                   # defaults: all algorithms
+//	dynagg-sim -n 100000 -k 1000 -g 500 -rounds 50
+//	dynagg-sim -algo RS -agg avgprice -insert 1000 -delete 0.05
+//	dynagg-sim -agg delta                        # trans-round |Dj|-|Dj-1|
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	dynagg "github.com/dynagg/dynagg"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 40000, "dataset size (tuple pool)")
+		init0  = flag.Int("initial", 0, "initial database size (default 90% of n)")
+		m      = flag.Int("m", 38, "number of attributes (<=38)")
+		k      = flag.Int("k", 250, "interface top-k cap")
+		g      = flag.Int("g", 500, "query budget per round")
+		rounds = flag.Int("rounds", 25, "rounds to simulate")
+		insert = flag.Int("insert", 300, "tuples inserted per round")
+		del    = flag.Float64("delete", 0.001, "fraction of tuples deleted per round")
+		seed   = flag.Int64("seed", 1, "random seed")
+		algoF  = flag.String("algo", "ALL", "RESTART, REISSUE, RS, or ALL")
+		aggF   = flag.String("agg", "count", "aggregate: count, sumprice, avgprice, delta")
+	)
+	flag.Parse()
+	if *init0 == 0 {
+		*init0 = *n * 9 / 10
+	}
+
+	var algos []dynagg.Algorithm
+	switch strings.ToUpper(*algoF) {
+	case "ALL":
+		algos = []dynagg.Algorithm{dynagg.AlgoRestart, dynagg.AlgoReissue, dynagg.AlgoRS}
+	default:
+		algos = []dynagg.Algorithm{dynagg.Algorithm(strings.ToUpper(*algoF))}
+	}
+
+	delta := *aggF == "delta"
+	makeAgg := func() *dynagg.Aggregate {
+		switch *aggF {
+		case "count", "delta":
+			return dynagg.CountAll()
+		case "sumprice":
+			return dynagg.SumOf("SUM(price)", dynagg.AuxField(0))
+		case "avgprice":
+			return dynagg.AvgOf("AVG(price)", dynagg.AuxField(0))
+		default:
+			log.Fatalf("unknown aggregate %q", *aggF)
+			return nil
+		}
+	}
+
+	type runner struct {
+		algo  dynagg.Algorithm
+		env   *dynagg.Env
+		track *dynagg.Tracker
+		spec  *dynagg.Aggregate
+	}
+	var runners []*runner
+	for _, algo := range algos {
+		data := dynagg.AutosLikeN(*seed, *n, *m)
+		env, err := dynagg.NewEnv(data, *init0, *seed+1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		iface := dynagg.NewIface(env.Store, *k, nil)
+		spec := makeAgg()
+		tr, err := dynagg.NewTracker(iface, []*dynagg.Aggregate{spec},
+			dynagg.TrackerOptions{Algorithm: algo, Budget: *g, Seed: *seed + 7, DeltaTarget: delta})
+		if err != nil {
+			log.Fatal(err)
+		}
+		runners = append(runners, &runner{algo: algo, env: env, track: tr, spec: spec})
+	}
+
+	head := "round |        truth"
+	for _, r := range runners {
+		head += fmt.Sprintf(" | %8s est   rel", r.algo)
+	}
+	fmt.Println(head)
+
+	prevTruth := math.NaN()
+	for round := 1; round <= *rounds; round++ {
+		var truth float64
+		row := ""
+		for i, r := range runners {
+			if round > 1 {
+				if err := r.env.DeleteFraction(*del); err != nil {
+					log.Fatal(err)
+				}
+				if err := r.env.InsertFromPool(*insert); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if i == 0 {
+				truth = r.spec.Truth(r.env.Store)
+			}
+			if err := r.track.Step(); err != nil {
+				log.Fatal(err)
+			}
+			var est dynagg.Estimate
+			var ok bool
+			if delta {
+				est, ok = r.track.Delta(0)
+			} else {
+				est, ok = r.track.Estimate(0)
+			}
+			if !ok {
+				row += fmt.Sprintf(" | %12s", "-")
+				continue
+			}
+			target := truth
+			if delta {
+				target = truth - prevTruth
+			}
+			rel := math.Abs(est.Value-target) / math.Max(1e-9, math.Abs(target))
+			row += fmt.Sprintf(" | %12.1f %4.0f%%", est.Value, 100*rel)
+		}
+		target := truth
+		if delta {
+			target = truth - prevTruth
+		}
+		fmt.Printf("%5d | %12.1f%s\n", round, target, row)
+		prevTruth = truth
+	}
+}

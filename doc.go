@@ -1,0 +1,50 @@
+// Package dynagg estimates and tracks aggregate queries (COUNT, SUM, AVG —
+// with or without selection conditions, single-round and trans-round) over
+// dynamic hidden web databases: databases reachable only through a
+// restrictive top-k conjunctive search interface with a per-round query
+// budget.
+//
+// It is a from-scratch reproduction of
+//
+//	"Aggregate Estimation Over Dynamic Hidden Web Databases",
+//	Weimo Liu, Saravanan Thirumuruganathan, Nan Zhang, Gautam Das.
+//	VLDB 2014 (arXiv:1403.2763).
+//
+// The package exposes three estimators sharing one drill-down machinery:
+//
+//   - RESTART — the baseline: rerun the static drill-down estimator of
+//     Dasgupta et al. (SIGMOD 2010) from scratch every round.
+//   - REISSUE — keep the random signature set fixed across rounds and
+//     update each drill down from its previous top non-overflowing node,
+//     saving nearly the whole path when the database changed little.
+//   - RS — a reservoir-style estimator that bootstraps the amount of
+//     change each round, splits the budget between updating old drill
+//     downs and starting new ones, and combines per-group estimates by
+//     inverse variance.
+//
+// # Quick start
+//
+//	data := dynagg.AutosLikeN(1, 40000, 38)      // synthetic hidden DB
+//	env, _ := dynagg.NewEnv(data, 36000, 2)
+//	iface := dynagg.NewIface(env.Store, 1000, nil) // top-1000 interface
+//
+//	tr, _ := dynagg.NewTracker(iface, []*dynagg.Aggregate{dynagg.CountAll()},
+//	    dynagg.TrackerOptions{Algorithm: dynagg.AlgoReissue, Budget: 500, Seed: 7})
+//
+//	for round := 1; round <= 50; round++ {
+//	    if round > 1 {
+//	        _ = env.InsertFromPool(300)          // the database changes...
+//	        _ = env.DeleteFraction(0.001)
+//	    }
+//	    _ = tr.Step()                            // ...and we keep tracking
+//	    est, _ := tr.Estimate(0)
+//	    fmt.Println(round, est.Value)
+//	}
+//
+// Estimators only ever touch the Searcher interface, so a Tracker can
+// equally drive a client for a real web API: implement Searcher with HTTP
+// calls and the same algorithms apply unchanged.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every reproduced figure.
+package dynagg

@@ -1,0 +1,216 @@
+package dynagg_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	dynagg "github.com/dynagg/dynagg"
+)
+
+// buildEnv creates a small tracked environment for API tests.
+func buildEnv(t testing.TB, seed int64) (*dynagg.Env, *dynagg.Iface) {
+	t.Helper()
+	data := dynagg.AutosLikeN(seed, 20000, 12)
+	env, err := dynagg.NewEnv(data, 18000, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, dynagg.NewIface(env.Store, 200, nil)
+}
+
+func TestTrackerLifecycle(t *testing.T) {
+	env, iface := buildEnv(t, 1)
+	tr, err := dynagg.NewTracker(iface, []*dynagg.Aggregate{dynagg.CountAll()},
+		dynagg.TrackerOptions{Algorithm: dynagg.AlgoReissue, Budget: 400, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Algorithm() != dynagg.AlgoReissue {
+		t.Errorf("Algorithm = %s", tr.Algorithm())
+	}
+	if tr.Round() != 0 {
+		t.Errorf("fresh Round = %d", tr.Round())
+	}
+	for round := 1; round <= 5; round++ {
+		if round > 1 {
+			if err := env.InsertFromPool(100); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Round() != round {
+			t.Errorf("Round = %d, want %d", tr.Round(), round)
+		}
+		if used := tr.QueriesLastRound(); used > 400 || used == 0 {
+			t.Errorf("QueriesLastRound = %d", used)
+		}
+		est, ok := tr.Estimate(0)
+		if !ok {
+			t.Fatalf("no estimate at round %d", round)
+		}
+		truth := float64(env.Store.Size())
+		if rel := math.Abs(est.Value-truth) / truth; rel > 0.5 {
+			t.Errorf("round %d: estimate %.0f vs truth %.0f", round, est.Value, truth)
+		}
+	}
+	if _, ok := tr.Delta(0); !ok {
+		t.Error("no delta after 5 rounds")
+	}
+	if tr.DrillDowns() == 0 {
+		t.Error("no drill downs recorded")
+	}
+	if len(tr.Aggregates()) != 1 {
+		t.Error("aggregates lost")
+	}
+}
+
+func TestNewTrackerValidation(t *testing.T) {
+	_, iface := buildEnv(t, 10)
+	if _, err := dynagg.NewTracker(nil, nil, dynagg.TrackerOptions{}); err == nil {
+		t.Error("nil iface accepted")
+	}
+	if _, err := dynagg.NewTracker(iface, nil, dynagg.TrackerOptions{}); err == nil {
+		t.Error("no aggregates accepted")
+	}
+	if _, err := dynagg.NewTracker(iface, []*dynagg.Aggregate{dynagg.CountAll()},
+		dynagg.TrackerOptions{Algorithm: "BOGUS"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	// Default algorithm is RS.
+	tr, err := dynagg.NewTracker(iface, []*dynagg.Aggregate{dynagg.CountAll()}, dynagg.TrackerOptions{Budget: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Algorithm() != dynagg.AlgoRS {
+		t.Errorf("default algorithm = %s", tr.Algorithm())
+	}
+}
+
+func TestTrackerAllAlgorithms(t *testing.T) {
+	for _, algo := range []dynagg.Algorithm{dynagg.AlgoRestart, dynagg.AlgoReissue, dynagg.AlgoRS} {
+		env, iface := buildEnv(t, 20)
+		tr, err := dynagg.NewTracker(iface, []*dynagg.Aggregate{
+			dynagg.CountAll(),
+			dynagg.AvgOf("AVG(price)", dynagg.AuxField(0)),
+		}, dynagg.TrackerOptions{Algorithm: algo, Budget: 300, Seed: 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 1; round <= 3; round++ {
+			if err := tr.Step(); err != nil {
+				t.Fatalf("%s: %v", algo, err)
+			}
+		}
+		for i := 0; i < 2; i++ {
+			if _, ok := tr.Estimate(i); !ok {
+				t.Errorf("%s: no estimate %d", algo, i)
+			}
+		}
+		_ = env
+	}
+}
+
+func TestTrackerAdHoc(t *testing.T) {
+	env, iface := buildEnv(t, 30)
+	tr, err := dynagg.NewTracker(iface, []*dynagg.Aggregate{dynagg.CountAll()},
+		dynagg.TrackerOptions{Algorithm: dynagg.AlgoRS, Budget: 500, Seed: 31, RetainTuples: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Step(); err != nil {
+		t.Fatal(err)
+	}
+	truth := dynagg.SumOf("x", dynagg.AuxField(0)).Truth(env.Store)
+	est, err := tr.AdHoc(dynagg.SumOf("SUM(price)@R1", dynagg.AuxField(0)), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(est.Value-truth) / truth; rel > 0.9 {
+		t.Errorf("ad hoc rel err %.2f", rel)
+	}
+}
+
+func TestTrackerStepSessionHook(t *testing.T) {
+	env, iface := buildEnv(t, 40)
+	tr, err := dynagg.NewTracker(iface, []*dynagg.Aggregate{dynagg.CountAll()},
+		dynagg.TrackerOptions{Algorithm: dynagg.AlgoReissue, Budget: 100, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := iface.NewSession(100)
+	fired := false
+	sess.SetPreSearchHook(func(qi int) {
+		if qi == 3 && !fired {
+			fired = true
+			_ = env.InsertFromPool(5)
+		}
+	})
+	if err := tr.StepSession(sess); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("pre-search hook never fired")
+	}
+}
+
+func TestSimAliasesUsable(t *testing.T) {
+	am, err := dynagg.NewAmazonSim(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if am.Rounds() < 5 {
+		t.Error("amazon sim too short")
+	}
+	eb, err := dynagg.NewEBaySim(51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb.FixAggregate().Truth(eb.Env.Store) <= eb.BidAggregate().Truth(eb.Env.Store) {
+		t.Error("FIX should start above BID")
+	}
+}
+
+func TestTrackerSaveLoad(t *testing.T) {
+	env, iface := buildEnv(t, 60)
+	tr, err := dynagg.NewTracker(iface, []*dynagg.Aggregate{dynagg.CountAll()},
+		dynagg.TrackerOptions{Algorithm: dynagg.AlgoRS, Budget: 300, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 1; round <= 3; round++ {
+		if err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, _ := tr.Estimate(0)
+
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := dynagg.LoadTracker(&buf, iface, []*dynagg.Aggregate{dynagg.CountAll()},
+		dynagg.TrackerOptions{Budget: 300, Seed: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Algorithm() != dynagg.AlgoRS || restored.Round() != 3 {
+		t.Fatalf("restored state wrong: %s round %d", restored.Algorithm(), restored.Round())
+	}
+	got, ok := restored.Estimate(0)
+	if !ok || got.Value != want.Value {
+		t.Errorf("estimate mismatch: %v vs %v", got.Value, want.Value)
+	}
+	// Keep tracking after the restart.
+	if err := env.InsertFromPool(200); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Round() != 4 {
+		t.Errorf("round after restored step = %d", restored.Round())
+	}
+}

@@ -1,0 +1,73 @@
+// Adhoc: the ad hoc query model of §5.1 — answer an aggregate question
+// about a PAST database state, asked only after that state is gone.
+//
+// The tracker retains the tuples its drill downs retrieved each round.
+// When, at round 8, an analyst asks "what was the average price of
+// category-0 items back at round 3?", the tracker simulates the estimate
+// as if the query had been registered before round 3 ran — no time
+// machine, no extra queries.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	dynagg "github.com/dynagg/dynagg"
+)
+
+func main() {
+	data := dynagg.AutosLikeN(5, 30000, 16)
+	env, err := dynagg.NewEnv(data, 27000, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	iface := dynagg.NewIface(env.Store, 200, nil)
+
+	tracker, err := dynagg.NewTracker(iface,
+		[]*dynagg.Aggregate{dynagg.CountAll()},
+		dynagg.TrackerOptions{
+			Algorithm:    dynagg.AlgoReissue,
+			Budget:       600,
+			Seed:         9,
+			RetainTuples: true, // keep retrieved tuples for ad hoc queries
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Record the truth of the future ad hoc question at every round, so we
+	// can grade the answer later. (Only the simulator can do this — the
+	// tracker itself never sees the full database.)
+	sumPrice := dynagg.SumOf("SUM(price)", dynagg.AuxField(0))
+	truthAt := map[int]float64{}
+
+	for round := 1; round <= 8; round++ {
+		if round > 1 {
+			if err := env.DeleteFraction(0.01); err != nil {
+				log.Fatal(err)
+			}
+			if err := env.InsertFromPool(400); err != nil {
+				log.Fatal(err)
+			}
+		}
+		truthAt[round] = sumPrice.Truth(env.Store)
+		if err := tracker.Step(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("at round 8, asking about past rounds:")
+	fmt.Println("round | ad hoc SUM(price) estimate |        truth | rel.err")
+	for _, past := range []int{3, 5, 8} {
+		est, err := tracker.AdHoc(dynagg.SumOf("SUM(price)@past", dynagg.AuxField(0)), past)
+		if err != nil {
+			// Old rounds may have been fully superseded in the pool.
+			fmt.Printf("%5d | %v\n", past, err)
+			continue
+		}
+		truth := truthAt[past]
+		fmt.Printf("%5d | %26.0f | %12.0f | %6.1f%%\n",
+			past, est.Value, truth, 100*math.Abs(est.Value-truth)/truth)
+	}
+}

@@ -1,0 +1,111 @@
+// Jobmarket: the paper's motivating scenario — an economist tracking the
+// number of active job postings on a hidden job board (think monster.com),
+// including a skill-specific sub-count, under a strict daily API quota.
+//
+// Each algorithm gets two trackers sharing the daily quota:
+//
+//   - one for COUNT(*) over all postings (full query tree), and
+//   - one for COUNT(*) WHERE skill=java, which the estimators serve from
+//     the selection subtree (§3.3) — every drill-down query carries the
+//     skill predicate, so the whole budget works inside the slice of the
+//     database the analyst cares about.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	dynagg "github.com/dynagg/dynagg"
+)
+
+const (
+	days       = 15
+	dailyQuota = 800 // the job board allows 800 API calls per day
+	topK       = 100
+)
+
+func main() {
+	algos := []dynagg.Algorithm{dynagg.AlgoRestart, dynagg.AlgoReissue, dynagg.AlgoRS}
+
+	// One pair of trackers per algorithm, each against its own
+	// identically-evolving copy of the job board (same seeds → same
+	// history).
+	type runner struct {
+		algo     dynagg.Algorithm
+		env      *dynagg.Env
+		all      *dynagg.Tracker // COUNT(*) — full tree
+		java     *dynagg.Tracker // COUNT(skill=java) — selection subtree
+		javaSpec *dynagg.Aggregate
+	}
+	var runners []*runner
+	for _, algo := range algos {
+		data := dynagg.AutosLikeN(23, 50000, 20) // postings: 20 searchable facets
+		env, err := dynagg.NewEnv(data, 42000, 12)
+		if err != nil {
+			log.Fatal(err)
+		}
+		iface := dynagg.NewIface(env.Store, topK, nil)
+
+		all, err := dynagg.NewTracker(iface,
+			[]*dynagg.Aggregate{dynagg.CountAll()},
+			dynagg.TrackerOptions{Algorithm: algo, Budget: dailyQuota / 2, Seed: 13})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Facet 2 value 0 plays the role of "skill = Java".
+		javaSpec := dynagg.CountWhere("COUNT(skill=java)",
+			dynagg.NewQuery(dynagg.Pred{Attr: 2, Val: 0}))
+		java, err := dynagg.NewTracker(iface,
+			[]*dynagg.Aggregate{javaSpec},
+			dynagg.TrackerOptions{Algorithm: algo, Budget: dailyQuota / 2, Seed: 14})
+		if err != nil {
+			log.Fatal(err)
+		}
+		runners = append(runners, &runner{algo: algo, env: env, all: all, java: java, javaSpec: javaSpec})
+	}
+
+	fmt.Println("day | truth(all) | truth(java) | per-algorithm relative error (all postings)")
+	for day := 1; day <= days; day++ {
+		var truthAll, truthJava float64
+		row := ""
+		for i, r := range runners {
+			if day > 1 {
+				// Daily churn: new postings appear, filled/expired ones go.
+				if err := r.env.DeleteFraction(0.02); err != nil {
+					log.Fatal(err)
+				}
+				if err := r.env.InsertFromPool(900); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if err := r.all.Step(); err != nil {
+				log.Fatal(err)
+			}
+			if err := r.java.Step(); err != nil {
+				log.Fatal(err)
+			}
+			if i == 0 {
+				truthAll = float64(r.env.Store.Size())
+				truthJava = r.javaSpec.Truth(r.env.Store)
+			}
+			est, ok := r.all.Estimate(0)
+			if !ok {
+				log.Fatalf("%s: no estimate on day %d", r.algo, day)
+			}
+			row += fmt.Sprintf("  %s %5.1f%%", r.algo, 100*math.Abs(est.Value-truthAll)/truthAll)
+		}
+		fmt.Printf("%3d | %10.0f | %11.0f |%s\n", day, truthAll, truthJava, row)
+	}
+
+	fmt.Println("\nskill-specific count on the final day (selection-subtree trackers):")
+	for _, r := range runners {
+		est, ok := r.java.Estimate(0)
+		truth := r.javaSpec.Truth(r.env.Store)
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-8s estimate %7.0f  (truth %6.0f, rel err %.1f%%)\n",
+			r.algo, est.Value, truth, 100*math.Abs(est.Value-truth)/truth)
+	}
+}

@@ -1,0 +1,75 @@
+// Remote: track a hidden database that lives behind an HTTP API — the
+// setting of the paper's live experiments (the authors drove the Amazon
+// Product Advertising API and the eBay Finding API; here the "site" is a
+// local server exposing a simulated store through webiface's wire format).
+//
+// Everything downstream of the Searcher interface is identical to local
+// tracking: the same REISSUE estimator, the same budget discipline, the
+// same estimates. Swapping in a real site means writing a RequestFunc /
+// ParseFunc pair for its API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"net/http/httptest"
+	"time"
+
+	dynagg "github.com/dynagg/dynagg"
+	"github.com/dynagg/dynagg/webiface"
+)
+
+func main() {
+	// ---- the "web site": a simulated hidden database behind HTTP ----
+	data := dynagg.AutosLikeN(17, 30000, 14)
+	env, err := dynagg.NewEnv(data, 27000, 18)
+	if err != nil {
+		log.Fatal(err)
+	}
+	site := httptest.NewServer(webiface.NewHandler(dynagg.NewIface(env.Store, 100, nil)))
+	defer site.Close()
+	fmt.Println("site listening at", site.URL)
+
+	// ---- the third-party tracker: schema discovery + budgeted rounds ----
+	client, err := webiface.Dial(site.URL, webiface.ClientOptions{
+		MinInterval: time.Millisecond, // polite per-request rate limit
+		Retries:     2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("discovered schema: %d attributes, top-%d interface\n\n",
+		client.Schema().M(), client.K())
+
+	tracker, err := dynagg.NewRemoteTracker(client,
+		[]*dynagg.Aggregate{dynagg.CountAll()},
+		dynagg.TrackerOptions{
+			Algorithm: dynagg.AlgoReissue,
+			Budget:    300, // the site's per-round quota
+			Seed:      19,
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("round  truth  estimate  rel.err  http-queries")
+	for round := 1; round <= 8; round++ {
+		if round > 1 {
+			// The site's database changes between rounds.
+			if err := env.DeleteFraction(0.01); err != nil {
+				log.Fatal(err)
+			}
+			if err := env.InsertFromPool(400); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := tracker.Step(); err != nil {
+			log.Fatal(err)
+		}
+		e, _ := tracker.Estimate(0)
+		truth := float64(env.Store.Size())
+		fmt.Printf("%5d  %5.0f  %8.0f  %6.1f%%  %12d\n",
+			round, truth, e.Value, 100*math.Abs(e.Value-truth)/truth, tracker.QueriesLastRound())
+	}
+}

@@ -1,0 +1,255 @@
+// Package agg defines the aggregate queries the system estimates
+// (paper §2.2): single-round aggregates of the form
+//
+//	SELECT AGG(f(t)) FROM D_i WHERE SelectionCondition
+//
+// with AGG ∈ {COUNT, SUM, AVG}, f any per-tuple function and the selection
+// condition any per-tuple predicate — plus exact ground-truth evaluation
+// against the simulator's store (something a real attacker of a hidden
+// database cannot do, but the harness can, which is how the experiments
+// report true relative errors).
+//
+// Internally every aggregate is carried as the pair (Σ f(t), Σ 1) over
+// selected tuples; COUNT reads the second component, SUM the first, and
+// AVG their ratio (the paper notes AVG estimates are slightly biased,
+// being a ratio of two unbiased estimators).
+package agg
+
+import (
+	"fmt"
+
+	"github.com/dynagg/dynagg/internal/hiddendb"
+	"github.com/dynagg/dynagg/internal/schema"
+)
+
+// Kind selects the aggregate function.
+type Kind int
+
+const (
+	// Count is COUNT(*) over selected tuples.
+	Count Kind = iota
+	// Sum is SUM(f(t)) over selected tuples.
+	Sum
+	// Avg is SUM(f(t)) / COUNT(*) over selected tuples.
+	Avg
+)
+
+// String names the aggregate function.
+func (k Kind) String() string {
+	switch k {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Avg:
+		return "AVG"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Aggregate is one aggregate query specification.
+type Aggregate struct {
+	// Name labels the aggregate in reports.
+	Name string
+	// Kind is the aggregate function.
+	Kind Kind
+	// F computes f(t); ignored (treated as 1) for Count. Required for
+	// Sum/Avg.
+	F func(*schema.Tuple) float64
+	// Sel is the selection condition g(t); nil selects every tuple.
+	Sel func(*schema.Tuple) bool
+	// SelQuery optionally expresses the selection condition as a
+	// conjunctive query. When set, estimators build their query tree as
+	// the subtree under it (paper §3.3), shrinking variance. It must be
+	// consistent with Sel; consistency is the constructor's job.
+	SelQuery hiddendb.Query
+	// HasSelQuery records whether SelQuery is meaningful (a zero Query is
+	// a legitimate "no predicates" value, so presence needs its own flag).
+	HasSelQuery bool
+}
+
+// Pair is the raw (Σf, Σcount) of an aggregate over some set of tuples,
+// before Horvitz–Thompson inflation by 1/p(q).
+type Pair struct {
+	SumF  float64
+	Count float64
+}
+
+// Add accumulates another pair.
+func (p *Pair) Add(o Pair) { p.SumF += o.SumF; p.Count += o.Count }
+
+// Scale returns the pair scaled by 1/prob — the HT inflation.
+func (p Pair) Scale(prob float64) Pair {
+	return Pair{SumF: p.SumF / prob, Count: p.Count / prob}
+}
+
+// Sub returns p − o componentwise.
+func (p Pair) Sub(o Pair) Pair {
+	return Pair{SumF: p.SumF - o.SumF, Count: p.Count - o.Count}
+}
+
+// CountAll returns COUNT(*) FROM D.
+func CountAll() *Aggregate {
+	return &Aggregate{Name: "COUNT(*)", Kind: Count}
+}
+
+// CountWhere returns COUNT(*) with a conjunctive selection condition.
+func CountWhere(name string, sel hiddendb.Query) *Aggregate {
+	return &Aggregate{
+		Name:        name,
+		Kind:        Count,
+		Sel:         func(t *schema.Tuple) bool { return sel.Matches(t, false) },
+		SelQuery:    sel,
+		HasSelQuery: true,
+	}
+}
+
+// SumOf returns SUM(f(t)) FROM D.
+func SumOf(name string, f func(*schema.Tuple) float64) *Aggregate {
+	return &Aggregate{Name: name, Kind: Sum, F: f}
+}
+
+// SumWhere returns SUM(f(t)) with a conjunctive selection condition.
+func SumWhere(name string, f func(*schema.Tuple) float64, sel hiddendb.Query) *Aggregate {
+	return &Aggregate{
+		Name:        name,
+		Kind:        Sum,
+		F:           f,
+		Sel:         func(t *schema.Tuple) bool { return sel.Matches(t, false) },
+		SelQuery:    sel,
+		HasSelQuery: true,
+	}
+}
+
+// AvgOf returns AVG(f(t)) FROM D.
+func AvgOf(name string, f func(*schema.Tuple) float64) *Aggregate {
+	return &Aggregate{Name: name, Kind: Avg, F: f}
+}
+
+// AvgWhere returns AVG(f(t)) with a conjunctive selection condition.
+func AvgWhere(name string, f func(*schema.Tuple) float64, sel hiddendb.Query) *Aggregate {
+	return &Aggregate{
+		Name:        name,
+		Kind:        Avg,
+		F:           f,
+		Sel:         func(t *schema.Tuple) bool { return sel.Matches(t, false) },
+		SelQuery:    sel,
+		HasSelQuery: true,
+	}
+}
+
+// AuxField returns an f(t) reading the i-th auxiliary payload (0 when
+// absent) — the standard way to aggregate a non-searchable numeric field
+// such as an exact price.
+func AuxField(i int) func(*schema.Tuple) float64 {
+	return func(t *schema.Tuple) float64 {
+		if i < len(t.Aux) {
+			return t.Aux[i]
+		}
+		return 0
+	}
+}
+
+// Indicator returns an f(t) that is 1 when the conjunctive query matches
+// and 0 otherwise; AVG of an indicator is a proportion (e.g. "% of watches
+// that are men's" in the Amazon live experiment).
+func Indicator(sel hiddendb.Query) func(*schema.Tuple) float64 {
+	return func(t *schema.Tuple) float64 {
+		if sel.Matches(t, false) {
+			return 1
+		}
+		return 0
+	}
+}
+
+// selected reports whether the aggregate's selection condition admits t.
+func (a *Aggregate) selected(t *schema.Tuple) bool {
+	return a.Sel == nil || a.Sel(t)
+}
+
+// fval computes f(t) with the COUNT convention f ≡ 1.
+func (a *Aggregate) fval(t *schema.Tuple) float64 {
+	if a.Kind == Count || a.F == nil {
+		return 1
+	}
+	return a.F(t)
+}
+
+// PairOfTuples computes the raw (Σf, Σ1) over the given tuples after
+// applying the selection condition. This is the Q(q) of a query result.
+func (a *Aggregate) PairOfTuples(tuples []*schema.Tuple) Pair {
+	var p Pair
+	for _, t := range tuples {
+		if !a.selected(t) {
+			continue
+		}
+		p.SumF += a.fval(t)
+		p.Count++
+	}
+	return p
+}
+
+// Finalize turns an estimated (possibly HT-inflated) pair into the
+// aggregate's scalar value.
+func (a *Aggregate) Finalize(p Pair) float64 {
+	switch a.Kind {
+	case Count:
+		return p.Count
+	case Sum:
+		return p.SumF
+	case Avg:
+		if p.Count == 0 {
+			return 0
+		}
+		return p.SumF / p.Count
+	default:
+		panic(fmt.Sprintf("agg: unknown kind %d", a.Kind))
+	}
+}
+
+// Primary returns the scalar the variance machinery of RS-ESTIMATOR
+// tracks for this aggregate: the count component for COUNT, the sum
+// component otherwise (for AVG the sum component dominates the ratio's
+// variability in practice; the paper's analysis covers SUM/COUNT and
+// treats AVG as their ratio).
+func (a *Aggregate) Primary(p Pair) float64 {
+	if a.Kind == Count {
+		return p.Count
+	}
+	return p.SumF
+}
+
+// Truth computes the exact aggregate value against the full store.
+func (a *Aggregate) Truth(st *hiddendb.Store) float64 {
+	var p Pair
+	st.ForEach(func(t *schema.Tuple) {
+		if !a.selected(t) {
+			return
+		}
+		p.SumF += a.fval(t)
+		p.Count++
+	})
+	return a.Finalize(p)
+}
+
+// TruthPair computes the exact (Σf, Σ1) against the full store.
+func (a *Aggregate) TruthPair(st *hiddendb.Store) Pair {
+	var p Pair
+	st.ForEach(func(t *schema.Tuple) {
+		if !a.selected(t) {
+			return
+		}
+		p.SumF += a.fval(t)
+		p.Count++
+	})
+	return p
+}
+
+// String renders the aggregate for reports.
+func (a *Aggregate) String() string {
+	if a.Name != "" {
+		return a.Name
+	}
+	return a.Kind.String()
+}

@@ -1,0 +1,227 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/dynagg/dynagg/internal/hiddendb"
+	"github.com/dynagg/dynagg/internal/schema"
+)
+
+func buildStore(t testing.TB, seed int64, n int) *hiddendb.Store {
+	t.Helper()
+	sch := schema.New([]schema.Attr{
+		{Name: "type", Domain: []string{"car", "truck", "suv", "van"}},
+		{Name: "color", Domain: []string{"red", "blue", "green"}},
+		{Name: "year", Domain: []string{"y0", "y1", "y2", "y3", "y4"}},
+		{Name: "trim", Domain: []string{"t0", "t1", "t2", "t3", "t4", "t5"}},
+	})
+	st := hiddendb.NewStore(sch)
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool)
+	for st.Size() < n {
+		vals := []uint16{
+			uint16(rng.Intn(4)), uint16(rng.Intn(3)),
+			uint16(rng.Intn(5)), uint16(rng.Intn(6)),
+		}
+		tu := &schema.Tuple{ID: st.NextID(), Vals: vals, Aux: []float64{float64(rng.Intn(50000)) / 100}}
+		if seen[tu.Key()] {
+			continue
+		}
+		seen[tu.Key()] = true
+		if err := st.Insert(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+func TestKindString(t *testing.T) {
+	if Count.String() != "COUNT" || Sum.String() != "SUM" || Avg.String() != "AVG" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown kind rendering wrong")
+	}
+}
+
+func TestCountAllTruth(t *testing.T) {
+	st := buildStore(t, 1, 150)
+	a := CountAll()
+	if got := a.Truth(st); got != 150 {
+		t.Errorf("Truth = %v, want 150", got)
+	}
+	if a.String() != "COUNT(*)" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestCountWhereTruthMatchesScan(t *testing.T) {
+	st := buildStore(t, 2, 200)
+	sel := hiddendb.NewQuery(hiddendb.Pred{Attr: 0, Val: 1})
+	a := CountWhere("trucks", sel)
+	want := st.CountMatching(sel)
+	if got := a.Truth(st); got != float64(want) {
+		t.Errorf("Truth = %v, want %d", got, want)
+	}
+	if !a.HasSelQuery {
+		t.Error("HasSelQuery not set")
+	}
+}
+
+func TestSumAndAvgTruth(t *testing.T) {
+	st := buildStore(t, 3, 120)
+	price := AuxField(0)
+	sum := SumOf("SUM(price)", price)
+	avg := AvgOf("AVG(price)", price)
+
+	var wantSum float64
+	var cnt int
+	st.ForEach(func(tu *schema.Tuple) { wantSum += tu.Aux[0]; cnt++ })
+	if got := sum.Truth(st); math.Abs(got-wantSum) > 1e-9 {
+		t.Errorf("SUM truth = %v, want %v", got, wantSum)
+	}
+	if got := avg.Truth(st); math.Abs(got-wantSum/float64(cnt)) > 1e-9 {
+		t.Errorf("AVG truth = %v, want %v", got, wantSum/float64(cnt))
+	}
+}
+
+func TestSumWhereAvgWhere(t *testing.T) {
+	st := buildStore(t, 4, 180)
+	sel := hiddendb.NewQuery(hiddendb.Pred{Attr: 1, Val: 2})
+	price := AuxField(0)
+	sw := SumWhere("SUM(price) green", price, sel)
+	aw := AvgWhere("AVG(price) green", price, sel)
+
+	var wantSum float64
+	var cnt float64
+	st.ForEach(func(tu *schema.Tuple) {
+		if tu.Vals[1] == 2 {
+			wantSum += tu.Aux[0]
+			cnt++
+		}
+	})
+	if got := sw.Truth(st); math.Abs(got-wantSum) > 1e-9 {
+		t.Errorf("SumWhere truth = %v, want %v", got, wantSum)
+	}
+	want := 0.0
+	if cnt > 0 {
+		want = wantSum / cnt
+	}
+	if got := aw.Truth(st); math.Abs(got-want) > 1e-9 {
+		t.Errorf("AvgWhere truth = %v, want %v", got, want)
+	}
+}
+
+func TestAvgOfEmptySelectionIsZero(t *testing.T) {
+	st := buildStore(t, 5, 50)
+	never := &Aggregate{Name: "never", Kind: Avg, F: AuxField(0), Sel: func(*schema.Tuple) bool { return false }}
+	if got := never.Truth(st); got != 0 {
+		t.Errorf("empty AVG = %v, want 0", got)
+	}
+}
+
+func TestPairArithmetic(t *testing.T) {
+	p := Pair{SumF: 10, Count: 2}
+	p.Add(Pair{SumF: 5, Count: 3})
+	if p.SumF != 15 || p.Count != 5 {
+		t.Errorf("Add: %+v", p)
+	}
+	s := p.Scale(0.5)
+	if s.SumF != 30 || s.Count != 10 {
+		t.Errorf("Scale: %+v", s)
+	}
+	d := s.Sub(Pair{SumF: 10, Count: 4})
+	if d.SumF != 20 || d.Count != 6 {
+		t.Errorf("Sub: %+v", d)
+	}
+}
+
+func TestPairOfTuplesAppliesSelection(t *testing.T) {
+	st := buildStore(t, 6, 60)
+	var tuples []*schema.Tuple
+	st.ForEach(func(tu *schema.Tuple) { tuples = append(tuples, tu) })
+
+	sel := hiddendb.NewQuery(hiddendb.Pred{Attr: 0, Val: 0})
+	a := SumWhere("cars", AuxField(0), sel)
+	p := a.PairOfTuples(tuples)
+
+	var wantSum, wantCnt float64
+	for _, tu := range tuples {
+		if tu.Vals[0] == 0 {
+			wantSum += tu.Aux[0]
+			wantCnt++
+		}
+	}
+	if math.Abs(p.SumF-wantSum) > 1e-9 || p.Count != wantCnt {
+		t.Errorf("PairOfTuples = %+v, want (%v,%v)", p, wantSum, wantCnt)
+	}
+}
+
+func TestFinalizeByKind(t *testing.T) {
+	p := Pair{SumF: 40, Count: 8}
+	if (&Aggregate{Kind: Count}).Finalize(p) != 8 {
+		t.Error("Count finalize")
+	}
+	if (&Aggregate{Kind: Sum}).Finalize(p) != 40 {
+		t.Error("Sum finalize")
+	}
+	if (&Aggregate{Kind: Avg}).Finalize(p) != 5 {
+		t.Error("Avg finalize")
+	}
+	if (&Aggregate{Kind: Avg}).Finalize(Pair{}) != 0 {
+		t.Error("Avg of empty should be 0")
+	}
+}
+
+func TestPrimaryByKind(t *testing.T) {
+	p := Pair{SumF: 40, Count: 8}
+	if (&Aggregate{Kind: Count}).Primary(p) != 8 {
+		t.Error("Count primary should be count")
+	}
+	if (&Aggregate{Kind: Sum}).Primary(p) != 40 {
+		t.Error("Sum primary should be sumF")
+	}
+	if (&Aggregate{Kind: Avg}).Primary(p) != 40 {
+		t.Error("Avg primary should be sumF")
+	}
+}
+
+func TestIndicator(t *testing.T) {
+	st := buildStore(t, 7, 100)
+	men := hiddendb.NewQuery(hiddendb.Pred{Attr: 0, Val: 2})
+	frac := AvgOf("%suv", Indicator(men))
+	var cnt, total float64
+	st.ForEach(func(tu *schema.Tuple) {
+		total++
+		if tu.Vals[0] == 2 {
+			cnt++
+		}
+	})
+	if got := frac.Truth(st); math.Abs(got-cnt/total) > 1e-12 {
+		t.Errorf("indicator AVG = %v, want %v", got, cnt/total)
+	}
+}
+
+func TestAuxFieldOutOfRange(t *testing.T) {
+	tu := &schema.Tuple{ID: 1, Vals: []uint16{0}, Aux: []float64{3}}
+	if AuxField(0)(tu) != 3 {
+		t.Error("AuxField(0)")
+	}
+	if AuxField(2)(tu) != 0 {
+		t.Error("AuxField out of range should be 0")
+	}
+}
+
+func TestTruthPairConsistentWithTruth(t *testing.T) {
+	st := buildStore(t, 8, 90)
+	a := AvgOf("AVG(price)", AuxField(0))
+	p := a.TruthPair(st)
+	if math.Abs(a.Finalize(p)-a.Truth(st)) > 1e-12 {
+		t.Error("TruthPair and Truth disagree")
+	}
+	if p.Count != 90 {
+		t.Errorf("TruthPair count = %v", p.Count)
+	}
+}

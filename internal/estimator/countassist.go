@@ -1,0 +1,203 @@
+package estimator
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/dynagg/dynagg/internal/hiddendb"
+	"github.com/dynagg/dynagg/internal/querytree"
+	"github.com/dynagg/dynagg/internal/schema"
+)
+
+// CountAssisted implements the paper's §8 future-work direction (1):
+// using COUNT metadata to guide drill downs. Many real interfaces display
+// a (often capped) result count — "1,000+ results" — alongside the top-k
+// page. With counts, COUNT aggregates need no sampling at all: maintain a
+// frontier of disjoint query-tree nodes whose counts are below the display
+// cap; their counts sum to the exact database size, and refreshing a
+// frontier node costs exactly one query per round.
+//
+// The frontier starts at the root and expands a node into its children
+// whenever its count is capped. Under churn a node's count can grow past
+// the cap, triggering re-expansion; nodes are never merged back (a finer
+// frontier stays correct, just costlier — noted as future work in the
+// doc comment of Step).
+//
+// With a budget too small to refresh the whole frontier each round, the
+// estimate mixes this round's counts with earlier ones; Freshness reports
+// the fraction of the frontier refreshed in the last round so callers can
+// judge staleness.
+type CountAssisted struct {
+	sch  *schema.Schema
+	tree *querytree.Tree
+
+	frontier []*frontierNode
+	cursor   int // round-robin refresh position
+	round    int
+	used     int
+	started  bool
+}
+
+// frontierNode is one disjoint node of the covering frontier.
+type frontierNode struct {
+	sig       querytree.Signature // values along the path (levels ≥ depth unused)
+	depth     int
+	count     int
+	lastRound int
+}
+
+// NewCountAssisted builds the count-guided tracker for COUNT(*).
+func NewCountAssisted(sch *schema.Schema) *CountAssisted {
+	return &CountAssisted{sch: sch, tree: querytree.New(sch)}
+}
+
+// ErrCountCapTooTight reports a fully-specified query whose count is
+// still capped — impossible with distinct tuples unless the display cap
+// is below the number of duplicates the site tolerates.
+var ErrCountCapTooTight = errors.New("estimator: leaf query count still capped")
+
+// Step refreshes the frontier with one round's budget: first it finishes
+// any pending expansion work, then refreshes existing nodes round-robin.
+// A budget death mid-round is normal; the estimate then carries some
+// stale counts (see Freshness).
+func (c *CountAssisted) Step(s *hiddendb.CountingSession) error {
+	c.round++
+	startUsed := s.Used()
+	defer func() { c.used = s.Used() - startUsed }()
+
+	if !c.started {
+		root := &frontierNode{sig: make(querytree.Signature, c.tree.Depth())}
+		if err := c.refresh(s, root); err != nil {
+			if errIsBudget(err) {
+				return nil
+			}
+			return err
+		}
+		c.started = true
+	}
+
+	// Refresh every pre-existing node once, iterating a snapshot since
+	// expansions mutate the frontier mid-pass. The snapshot is rotated by
+	// the round-robin cursor so a budget too small for a full pass still
+	// visits every node fairly across rounds.
+	if len(c.frontier) == 0 {
+		return nil
+	}
+	snap := make([]*frontierNode, len(c.frontier))
+	for i := range snap {
+		snap[i] = c.frontier[(c.cursor+i)%len(c.frontier)]
+	}
+	processed := 0
+	for _, node := range snap {
+		if node.lastRound == c.round {
+			processed++
+			continue // refreshed during an expansion this round
+		}
+		if err := c.refresh(s, node); err != nil {
+			if errIsBudget(err) {
+				c.cursor += processed
+				return nil
+			}
+			return err
+		}
+		processed++
+	}
+	c.cursor += processed
+	return nil
+}
+
+// refresh re-queries one node; a capped count expands the node into its
+// children (recursively, as far as needed).
+func (c *CountAssisted) refresh(s *hiddendb.CountingSession, node *frontierNode) error {
+	_, count, capped, err := s.SearchWithCount(c.tree.Node(node.sig, node.depth))
+	if err != nil {
+		return err
+	}
+	if !capped {
+		node.count = count
+		node.lastRound = c.round
+		if node.depth == 0 && !c.started {
+			c.frontier = append(c.frontier, node)
+		}
+		return nil
+	}
+	if node.depth == c.tree.Depth() {
+		return ErrCountCapTooTight
+	}
+	// Expand: replace node with its children.
+	attr := c.tree.LevelAttr(node.depth)
+	children := make([]*frontierNode, 0, c.sch.DomainSize(attr))
+	for v := 0; v < c.sch.DomainSize(attr); v++ {
+		sig := make(querytree.Signature, len(node.sig))
+		copy(sig, node.sig)
+		sig[node.depth] = uint16(v)
+		children = append(children, &frontierNode{sig: sig, depth: node.depth + 1})
+	}
+	c.replace(node, children)
+	for _, ch := range children {
+		if err := c.refresh(s, ch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replace swaps a frontier node for its children (or inserts the root's
+// children on first expansion).
+func (c *CountAssisted) replace(node *frontierNode, children []*frontierNode) {
+	for i, fn := range c.frontier {
+		if fn == node {
+			out := make([]*frontierNode, 0, len(c.frontier)-1+len(children))
+			out = append(out, c.frontier[:i]...)
+			out = append(out, children...)
+			out = append(out, c.frontier[i+1:]...)
+			c.frontier = out
+			return
+		}
+	}
+	// Root expansion before the node ever entered the frontier.
+	c.frontier = append(c.frontier, children...)
+	c.started = true
+}
+
+// Estimate returns the current COUNT(*) estimate: the sum of the
+// frontier's latest counts. When Freshness is 1 the value is exact for
+// the current round.
+func (c *CountAssisted) Estimate() float64 {
+	sum := 0
+	for _, fn := range c.frontier {
+		sum += fn.count
+	}
+	return float64(sum)
+}
+
+// Freshness returns the fraction of frontier nodes refreshed in the last
+// completed round (0 before the first Step).
+func (c *CountAssisted) Freshness() float64 {
+	if len(c.frontier) == 0 {
+		return 0
+	}
+	fresh := 0
+	for _, fn := range c.frontier {
+		if fn.lastRound == c.round {
+			fresh++
+		}
+	}
+	return float64(fresh) / float64(len(c.frontier))
+}
+
+// FrontierSize returns the number of disjoint nodes covering the
+// database — the per-round query cost of fully fresh tracking.
+func (c *CountAssisted) FrontierSize() int { return len(c.frontier) }
+
+// Round returns the last completed round.
+func (c *CountAssisted) Round() int { return c.round }
+
+// UsedLastRound returns the queries consumed by the last Step.
+func (c *CountAssisted) UsedLastRound() int { return c.used }
+
+// String summarises the tracker state.
+func (c *CountAssisted) String() string {
+	return fmt.Sprintf("count-assisted{round=%d frontier=%d fresh=%.0f%%}",
+		c.round, len(c.frontier), 100*c.Freshness())
+}

@@ -1,0 +1,243 @@
+package estimator
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/dynagg/dynagg/internal/agg"
+	"github.com/dynagg/dynagg/internal/querytree"
+	"github.com/dynagg/dynagg/internal/schema"
+)
+
+// Persistence lets a long-lived tracker survive process restarts: a daily
+// tracker following a real site cannot keep its drill-down pool in RAM
+// for weeks. Save serialises the full estimator state (drill-down pool
+// with histories, per-round estimates, RS's group history and variance
+// models); Load reconstructs it against the same schema and aggregate
+// set. Aggregates contain functions and are therefore NOT serialised —
+// the caller re-supplies them, and Load verifies the count matches.
+//
+// The random source is not serialisable; the restored estimator continues
+// with the Config.Rand provided at Load. Estimates are unaffected
+// (signatures already drawn remain uniform), only future random draws
+// differ from an uninterrupted run.
+
+// snapContribution mirrors contribution for gob.
+type snapContribution struct {
+	Round  int
+	Depth  int
+	Prob   float64
+	Pairs  []agg.Pair
+	Tuples []*schema.Tuple
+}
+
+// snapDrill mirrors drill for gob.
+type snapDrill struct {
+	Sig  []uint16
+	Cur  snapContribution
+	Prev snapContribution
+	Hist []snapContribution
+}
+
+// snapEstimate mirrors Estimate plus its validity flag.
+type snapEstimate struct {
+	Est Estimate
+	OK  bool
+}
+
+// snapVarModel mirrors varModel.
+type snapVarModel struct {
+	HT, Diff         float64
+	HaveHT, HaveDiff bool
+}
+
+// snapshot is the on-wire estimator state.
+type snapshot struct {
+	Version int
+	Algo    string
+	NumAggs int
+	Round   int
+	Used    int
+	Drills  int
+
+	Estimates []snapEstimate
+	Deltas    []snapEstimate
+
+	Pool []snapDrill
+
+	// RESTART extras.
+	PrevEst   []snapEstimate
+	LastRound []snapDrill
+
+	// RS extras.
+	Hist          [][]snapEstimate
+	VarModels     []snapVarModel
+	OptimizeDelta bool
+	Primary       int
+}
+
+const snapshotVersion = 1
+
+func contribToSnap(c contribution) snapContribution {
+	return snapContribution{Round: c.round, Depth: c.depth, Prob: c.prob, Pairs: c.pairs, Tuples: c.tuples}
+}
+
+func snapToContrib(s snapContribution) contribution {
+	return contribution{round: s.Round, depth: s.Depth, prob: s.Prob, pairs: s.Pairs, tuples: s.Tuples}
+}
+
+func drillToSnap(d *drill) snapDrill {
+	out := snapDrill{Sig: d.sig, Cur: contribToSnap(d.cur), Prev: contribToSnap(d.prev)}
+	for _, h := range d.hist {
+		out.Hist = append(out.Hist, contribToSnap(h))
+	}
+	return out
+}
+
+func snapToDrill(s snapDrill) *drill {
+	d := &drill{sig: querytree.Signature(s.Sig), cur: snapToContrib(s.Cur), prev: snapToContrib(s.Prev)}
+	for _, h := range s.Hist {
+		d.hist = append(d.hist, snapToContrib(h))
+	}
+	return d
+}
+
+func estimatesToSnap(ests []Estimate, ok []bool) []snapEstimate {
+	out := make([]snapEstimate, len(ests))
+	for i := range ests {
+		out[i] = snapEstimate{Est: ests[i], OK: ok[i]}
+	}
+	return out
+}
+
+func snapToEstimates(s []snapEstimate) ([]Estimate, []bool) {
+	ests := make([]Estimate, len(s))
+	ok := make([]bool, len(s))
+	for i := range s {
+		ests[i] = s[i].Est
+		ok[i] = s[i].OK
+	}
+	return ests, ok
+}
+
+// Save serialises the estimator's state. Supported concrete types:
+// *Restart, *Reissue, *RS.
+func Save(e Estimator, w io.Writer) error {
+	snap := snapshot{Version: snapshotVersion, Algo: e.Name()}
+	switch t := e.(type) {
+	case *Restart:
+		snap.fillBase(t.base)
+		snap.PrevEst = estimatesToSnap(t.prevEst, t.prevOK)
+		for _, d := range t.lastRound {
+			snap.LastRound = append(snap.LastRound, drillToSnap(d))
+		}
+	case *Reissue:
+		snap.fillBase(t.base)
+		for _, d := range t.pool {
+			snap.Pool = append(snap.Pool, drillToSnap(d))
+		}
+	case *RS:
+		snap.fillBase(t.base)
+		for _, d := range t.pool {
+			snap.Pool = append(snap.Pool, drillToSnap(d))
+		}
+		for _, h := range t.hist {
+			snap.Hist = append(snap.Hist, estimatesToSnap(h.est, h.ok))
+		}
+		for _, vm := range t.vm {
+			snap.VarModels = append(snap.VarModels, snapVarModel{
+				HT: vm.ht, Diff: vm.diff, HaveHT: vm.haveHT, HaveDiff: vm.haveDiff,
+			})
+		}
+		snap.OptimizeDelta = t.optimizeDelta
+		snap.Primary = t.primary
+	default:
+		return fmt.Errorf("estimator: cannot save %T", e)
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+func (s *snapshot) fillBase(b *base) {
+	s.NumAggs = len(b.aggs)
+	s.Round = b.round
+	s.Used = b.used
+	s.Drills = b.drills
+	s.Estimates = estimatesToSnap(b.estimates, b.estOK)
+	s.Deltas = estimatesToSnap(b.deltas, b.deltaOK)
+}
+
+func (s *snapshot) restoreBase(b *base) {
+	b.round = s.Round
+	b.used = s.Used
+	b.drills = s.Drills
+	b.estimates, b.estOK = snapToEstimates(s.Estimates)
+	b.deltas, b.deltaOK = snapToEstimates(s.Deltas)
+}
+
+// Load reconstructs an estimator saved by Save. The schema, aggregate
+// list (same order and count as at save time) and config are re-supplied
+// by the caller because they contain functions.
+func Load(r io.Reader, sch *schema.Schema, aggs []*agg.Aggregate, cfg Config) (Estimator, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("estimator: decode snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("estimator: snapshot version %d not supported", snap.Version)
+	}
+	if snap.NumAggs != len(aggs) {
+		return nil, fmt.Errorf("estimator: snapshot tracked %d aggregates, caller supplied %d",
+			snap.NumAggs, len(aggs))
+	}
+	switch snap.Algo {
+	case "RESTART":
+		e, err := NewRestart(sch, aggs, cfg)
+		if err != nil {
+			return nil, err
+		}
+		snap.restoreBase(e.base)
+		e.prevEst, e.prevOK = snapToEstimates(snap.PrevEst)
+		for _, sd := range snap.LastRound {
+			e.lastRound = append(e.lastRound, snapToDrill(sd))
+		}
+		return e, nil
+	case "REISSUE":
+		e, err := NewReissue(sch, aggs, cfg)
+		if err != nil {
+			return nil, err
+		}
+		snap.restoreBase(e.base)
+		for _, sd := range snap.Pool {
+			e.pool = append(e.pool, snapToDrill(sd))
+		}
+		return e, nil
+	case "RS":
+		var opts []RSOption
+		if snap.OptimizeDelta {
+			opts = append(opts, WithDeltaTarget())
+		}
+		opts = append(opts, WithPrimaryAggregate(snap.Primary))
+		e, err := NewRS(sch, aggs, cfg, opts...)
+		if err != nil {
+			return nil, err
+		}
+		snap.restoreBase(e.base)
+		for _, sd := range snap.Pool {
+			e.pool = append(e.pool, snapToDrill(sd))
+		}
+		e.hist = e.hist[:0]
+		for _, h := range snap.Hist {
+			ests, ok := snapToEstimates(h)
+			e.hist = append(e.hist, histEntry{est: ests, ok: ok})
+		}
+		for i, vm := range snap.VarModels {
+			if i < len(e.vm) {
+				e.vm[i] = varModel{ht: vm.HT, diff: vm.Diff, haveHT: vm.HaveHT, haveDiff: vm.HaveDiff}
+			}
+		}
+		return e, nil
+	default:
+		return nil, fmt.Errorf("estimator: unknown algorithm %q in snapshot", snap.Algo)
+	}
+}

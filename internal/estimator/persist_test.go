@@ -1,0 +1,179 @@
+package estimator
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/dynagg/dynagg/internal/agg"
+)
+
+// roundTrip saves and reloads an estimator.
+func roundTrip(t *testing.T, e Estimator, te *testEnv) Estimator {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Save(e, &buf); err != nil {
+		t.Fatal(err)
+	}
+	aggs := e.Aggregates()
+	restored, err := Load(&buf, te.env.Store.Schema(), aggs, cfg(999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return restored
+}
+
+func TestSaveLoadPreservesEstimates(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		new  func(te *testEnv) (Estimator, error)
+	}{
+		{"RESTART", func(te *testEnv) (Estimator, error) {
+			return NewRestart(te.env.Store.Schema(), []*agg.Aggregate{agg.CountAll()}, cfg(301))
+		}},
+		{"REISSUE", func(te *testEnv) (Estimator, error) {
+			return NewReissue(te.env.Store.Schema(), []*agg.Aggregate{agg.CountAll()}, cfg(301))
+		}},
+		{"RS", func(te *testEnv) (Estimator, error) {
+			return NewRS(te.env.Store.Schema(), []*agg.Aggregate{agg.CountAll()}, cfg(301), WithDeltaTarget())
+		}},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			te := newTestEnv(t, 300, 15000, 13000, 100)
+			e, err := mk.new(te)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for round := 1; round <= 4; round++ {
+				if round > 1 {
+					if err := te.env.InsertFromPool(200); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := e.Step(te.iface.NewSession(300)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, wantOK := e.Estimate(0)
+			wantDelta, wantDeltaOK := e.EstimateDelta(0)
+
+			restored := roundTrip(t, e, te)
+			if restored.Name() != e.Name() {
+				t.Fatalf("algo = %s", restored.Name())
+			}
+			if restored.Round() != 4 {
+				t.Errorf("round = %d", restored.Round())
+			}
+			if restored.DrillDowns() != e.DrillDowns() {
+				t.Errorf("drills = %d vs %d", restored.DrillDowns(), e.DrillDowns())
+			}
+			got, ok := restored.Estimate(0)
+			if ok != wantOK || got.Value != want.Value || got.Variance != want.Variance {
+				t.Errorf("estimate mismatch: %+v vs %+v", got, want)
+			}
+			gotDelta, dOK := restored.EstimateDelta(0)
+			if dOK != wantDeltaOK || (dOK && gotDelta.Value != wantDelta.Value) {
+				t.Errorf("delta mismatch: %+v vs %+v", gotDelta, wantDelta)
+			}
+
+			// The restored estimator keeps tracking sensibly.
+			if err := te.env.InsertFromPool(200); err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.Step(te.iface.NewSession(300)); err != nil {
+				t.Fatal(err)
+			}
+			est, ok := restored.Estimate(0)
+			if !ok {
+				t.Fatal("no estimate after restored step")
+			}
+			truth := float64(te.env.Store.Size())
+			if rel := math.Abs(est.Value-truth) / truth; rel > 0.5 {
+				t.Errorf("restored tracking rel err %.2f", rel)
+			}
+			if restored.Round() != 5 {
+				t.Errorf("restored round = %d", restored.Round())
+			}
+		})
+	}
+}
+
+// A restored REISSUE continues from the same pool: on a static database
+// the next round's estimate equals the pre-save estimate exactly.
+func TestSaveLoadReissueContinuity(t *testing.T) {
+	te := newTestEnv(t, 310, 15000, 15000, 100)
+	e, err := NewReissue(te.env.Store.Schema(), []*agg.Aggregate{agg.CountAll()}, cfg(311))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 1; round <= 3; round++ {
+		if err := e.Step(te.iface.NewSession(120)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, _ := e.Estimate(0)
+	beforePool := e.PoolSize()
+
+	restored := roundTrip(t, e, te).(*Reissue)
+	if restored.PoolSize() != beforePool {
+		t.Fatalf("pool %d vs %d", restored.PoolSize(), beforePool)
+	}
+	if err := restored.Step(te.iface.NewSession(120)); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := restored.Estimate(0)
+	// Static database + same signature pool (modulo which were updated
+	// within budget) → estimates agree closely.
+	if math.Abs(after.Value-before.Value) > 0.25*before.Value {
+		t.Errorf("continuity broken: %.0f -> %.0f", before.Value, after.Value)
+	}
+}
+
+func TestLoadValidation(t *testing.T) {
+	te := newTestEnv(t, 320, 5000, 4500, 100)
+	e, err := NewReissue(te.env.Store.Schema(), []*agg.Aggregate{agg.CountAll()}, cfg(321))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Step(te.iface.NewSession(100)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(e, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong aggregate count.
+	two := []*agg.Aggregate{agg.CountAll(), agg.CountAll()}
+	if _, err := Load(bytes.NewReader(buf.Bytes()), te.env.Store.Schema(), two, cfg(322)); err == nil {
+		t.Error("aggregate count mismatch accepted")
+	}
+	// Garbage input.
+	if _, err := Load(bytes.NewReader([]byte("junk")), te.env.Store.Schema(),
+		[]*agg.Aggregate{agg.CountAll()}, cfg(323)); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+}
+
+func TestSaveLoadRetainedTuplesSurvive(t *testing.T) {
+	te := newTestEnv(t, 330, 8000, 7500, 100)
+	c := cfg(331)
+	c.RetainTuples = true
+	e, err := NewRS(te.env.Store.Schema(), []*agg.Aggregate{agg.CountAll()}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Step(te.iface.NewSession(400)); err != nil {
+		t.Fatal(err)
+	}
+	truth := agg.SumOf("x", agg.AuxField(0)).Truth(te.env.Store)
+
+	restored := roundTrip(t, e, te).(*RS)
+	est, err := restored.AdHoc(agg.SumOf("SUM(price)@R1", agg.AuxField(0)), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(est.Value-truth) / truth; rel > 0.9 {
+		t.Errorf("ad hoc after reload rel err %.2f", rel)
+	}
+}

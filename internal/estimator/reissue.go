@@ -1,0 +1,101 @@
+package estimator
+
+import (
+	"github.com/dynagg/dynagg/internal/agg"
+	"github.com/dynagg/dynagg/internal/hiddendb"
+	"github.com/dynagg/dynagg/internal/schema"
+)
+
+// Reissue is REISSUE-ESTIMATOR (paper §3, Algorithm 1). The signature set
+// is generated once; each subsequent round every previous drill down is
+// *updated* from its last top non-overflowing node — saving the whole
+// root-to-q path when nothing changed — and the leftover budget starts new
+// drill downs that join the signature set.
+type Reissue struct {
+	*base
+	pool []*drill
+}
+
+// NewReissue builds the query-reissuing estimator.
+func NewReissue(sch *schema.Schema, aggs []*agg.Aggregate, cfg Config) (*Reissue, error) {
+	b, err := newBase("REISSUE", sch, aggs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Reissue{base: b}, nil
+}
+
+// Step runs one round: update every previous drill down (random order, so
+// a mid-round budget death does not systematically favour old signatures),
+// then spend the remainder on new drill downs.
+func (r *Reissue) Step(sess Session) error {
+	r.round++
+	startUsed := sess.Used()
+	s := r.searcher(sess)
+
+	budgetDead := false
+
+	// Phase 1: update all previous drill downs.
+	order := r.cfg.Rand.Perm(len(r.pool))
+	for _, idx := range order {
+		if _, err := r.updateDrill(s, r.pool[idx], r.round); err != nil {
+			if errIsBudget(err) {
+				budgetDead = true
+				break
+			}
+			return err
+		}
+	}
+
+	// Phase 2: new drill downs with the remaining budget.
+	for !budgetDead {
+		if r.cfg.MaxDrills > 0 && len(r.pool) >= r.cfg.MaxDrills {
+			break
+		}
+		d, _, err := r.freshDrill(s, r.round)
+		if err != nil {
+			if errIsBudget(err) {
+				break
+			}
+			return err
+		}
+		r.pool = append(r.pool, d)
+	}
+	r.used = sess.Used() - startUsed
+
+	// Estimates from drills current at this round (stale ones — possible
+	// after a budget death — are excluded to avoid mixing database states).
+	var current []*drill
+	for _, d := range r.pool {
+		if d.cur.round == r.round {
+			current = append(current, d)
+		}
+	}
+	for i, a := range r.aggs {
+		if len(current) > 0 {
+			r.estimates[i] = meanEstimate(a, current, i)
+			r.estOK[i] = true
+		}
+		if est, ok := pairedDelta(a, r.pool, i, r.round); ok {
+			r.deltas[i] = est
+			r.deltaOK[i] = true
+		} else {
+			r.deltaOK[i] = false
+		}
+	}
+	return nil
+}
+
+// PoolSize returns the number of live drill downs (diagnostics).
+func (r *Reissue) PoolSize() int { return len(r.pool) }
+
+// AdHoc evaluates a new aggregate against the retained tuples of any past
+// round still held by the pool (requires Config.RetainTuples).
+func (r *Reissue) AdHoc(a *agg.Aggregate, round int) (Estimate, error) {
+	return adHocPair(r.pool, a, round)
+}
+
+var _ Estimator = (*Reissue)(nil)
+
+// Ensure interface conformance for the session type we actually pass in.
+var _ hiddendb.Searcher = (*hiddendb.Session)(nil)

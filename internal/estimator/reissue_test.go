@@ -1,0 +1,106 @@
+package estimator
+
+import (
+	"testing"
+
+	"github.com/dynagg/dynagg/internal/agg"
+)
+
+// When the budget dies mid-update, drills not refreshed this round must
+// be excluded from the estimate (mixing database states would bias it),
+// while remaining in the pool for future rounds.
+func TestReissueBudgetDeathExcludesStaleDrills(t *testing.T) {
+	te := newTestEnv(t, 400, 20000, 18000, 100)
+	e, err := NewReissue(te.env.Store.Schema(), []*agg.Aggregate{agg.CountAll()}, cfg(401))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 1: build a pool of ~G/cost drills.
+	if err := e.Step(te.iface.NewSession(400)); err != nil {
+		t.Fatal(err)
+	}
+	pool := e.PoolSize()
+	if pool < 50 {
+		t.Fatalf("pool too small: %d", pool)
+	}
+	// Round 2 with a budget that can refresh only a fraction of the pool.
+	if err := te.env.InsertFromPool(500); err != nil {
+		t.Fatal(err)
+	}
+	tiny := pool / 2 // ~2 queries per update → refreshes ~pool/4
+	if err := e.Step(te.iface.NewSession(tiny)); err != nil {
+		t.Fatal(err)
+	}
+	est, ok := e.Estimate(0)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if est.Drills >= pool {
+		t.Errorf("estimate used %d drills with budget for ~%d updates", est.Drills, tiny/2)
+	}
+	if e.PoolSize() < pool {
+		t.Errorf("stale drills were dropped from the pool: %d -> %d", pool, e.PoolSize())
+	}
+
+	// Round 3 with ample budget: the stale drills get refreshed and all
+	// contribute again.
+	if err := e.Step(te.iface.NewSession(5000)); err != nil {
+		t.Fatal(err)
+	}
+	est3, _ := e.Estimate(0)
+	if est3.Drills < pool {
+		t.Errorf("after recovery only %d of %d drills contribute", est3.Drills, pool)
+	}
+}
+
+// The pool must never contain two drills sharing a signature's slice
+// (signatures are value copies, but accidental aliasing would corrupt
+// updates).
+func TestReissuePoolSignaturesIndependent(t *testing.T) {
+	te := newTestEnv(t, 410, 8000, 7000, 100)
+	e, err := NewReissue(te.env.Store.Schema(), []*agg.Aggregate{agg.CountAll()}, cfg(411))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Step(te.iface.NewSession(300)); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[*uint16]bool{}
+	for _, d := range e.pool {
+		if len(d.sig) == 0 {
+			t.Fatal("empty signature")
+		}
+		head := &d.sig[0]
+		if seen[head] {
+			t.Fatal("two drills alias the same signature backing array")
+		}
+		seen[head] = true
+	}
+}
+
+// Estimates for several aggregates tracked together must be mutually
+// consistent: COUNT(*) equals the count component of the SUM aggregate's
+// pair (they are computed from the same drills).
+func TestReissueMultiAggregateConsistency(t *testing.T) {
+	te := newTestEnv(t, 420, 15000, 14000, 100)
+	aggs := []*agg.Aggregate{
+		agg.CountAll(),
+		agg.SumOf("SUM(price)", agg.AuxField(0)),
+	}
+	e, err := NewReissue(te.env.Store.Schema(), aggs, cfg(421))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Step(te.iface.NewSession(400)); err != nil {
+		t.Fatal(err)
+	}
+	count, _ := e.Estimate(0)
+	sum, _ := e.Estimate(1)
+	if count.Value != sum.Pair.Count {
+		t.Errorf("COUNT estimate %v != SUM aggregate's count component %v",
+			count.Value, sum.Pair.Count)
+	}
+	if count.Drills != sum.Drills {
+		t.Errorf("drill counts differ: %d vs %d", count.Drills, sum.Drills)
+	}
+}

@@ -1,0 +1,176 @@
+package estimator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/dynagg/dynagg/internal/agg"
+	"github.com/dynagg/dynagg/internal/hiddendb"
+	"github.com/dynagg/dynagg/internal/stats"
+	"github.com/dynagg/dynagg/internal/workload"
+)
+
+// Tests anchored directly to the paper's theoretical claims.
+
+// §3.2.1 Example 2: on an i.i.d. uniform boolean database that is totally
+// regenerated every round (n = 2^(m/2)-ish), a reissued drill down starts
+// near level m/2 and consumes fewer queries in expectation than a fresh
+// from-root drill down — REISSUE's cost advantage survives even total
+// change on this distribution.
+func TestBooleanTotalChangeReissueCostAdvantage(t *testing.T) {
+	const m = 16
+	n := 1 << (m / 2) // 256 tuples over a 2^16 space
+	data := workload.Boolean(1, n*4, m)
+	env, err := workload.NewEnv(data, n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface := hiddendb.NewIface(env.Store, 1, nil) // k = 1 as in the example
+
+	re, err := NewReissue(env.Store.Schema(), []*agg.Aggregate{agg.CountAll()}, cfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewRestart(env.Store.Schema(), []*agg.Aggregate{agg.CountAll()}, cfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const g = 200
+	var reDrills, restartDrills int
+	for round := 1; round <= 8; round++ {
+		if round > 1 {
+			if err := env.RegenerateAll(); err != nil { // total change
+				t.Fatal(err)
+			}
+		}
+		if err := re.Step(iface.NewSession(g)); err != nil {
+			t.Fatal(err)
+		}
+		if err := rs.Step(iface.NewSession(g)); err != nil {
+			t.Fatal(err)
+		}
+		reDrills = re.DrillDowns()
+		restartDrills = rs.DrillDowns()
+	}
+	// Equal budgets: more completed drill downs ⇒ lower per-drill cost.
+	if reDrills <= restartDrills {
+		t.Errorf("boolean/total change: REISSUE drills %d not above RESTART %d",
+			reDrills, restartDrills)
+	}
+}
+
+// Theorem 3.1 extended: SUM and AVG (with selection) estimates stay
+// unbiased across independent runs — the mean over many trials converges
+// to the truth on a static database.
+func TestSumAvgUnbiasedOverTrials(t *testing.T) {
+	data := workload.AutosLikeN(10, 20000, 8)
+	env, err := workload.NewEnv(data, 20000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface := hiddendb.NewIface(env.Store, 100, nil)
+
+	sel := hiddendb.NewQuery(hiddendb.Pred{Attr: 1, Val: 0})
+	aggs := []*agg.Aggregate{
+		agg.SumOf("SUM(price)", agg.AuxField(0)),
+		agg.SumWhere("SUM(price) sel", agg.AuxField(0), sel),
+		agg.AvgOf("AVG(price)", agg.AuxField(0)),
+	}
+	truths := []float64{aggs[0].Truth(env.Store), aggs[1].Truth(env.Store), aggs[2].Truth(env.Store)}
+
+	means := make([]stats.Running, len(aggs))
+	for trial := 0; trial < 30; trial++ {
+		c := Config{Rand: rand.New(rand.NewSource(int64(5000 + trial)))}
+		e, err := NewReissue(env.Store.Schema(), aggs, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Step(iface.NewSession(500)); err != nil {
+			t.Fatal(err)
+		}
+		for i := range aggs {
+			est, ok := e.Estimate(i)
+			if !ok {
+				t.Fatalf("no estimate for %s", aggs[i])
+			}
+			means[i].Add(est.Value)
+		}
+	}
+	// SUM estimators are unbiased (tight tolerance over 30 trials); AVG is
+	// a ratio and only asymptotically unbiased (looser tolerance).
+	tolerances := []float64{0.15, 0.25, 0.1}
+	for i := range aggs {
+		rel := math.Abs(means[i].Mean()-truths[i]) / math.Abs(truths[i])
+		if rel > tolerances[i] {
+			t.Errorf("%s: mean of 30 trials off by %.1f%% (mean %.0f truth %.0f)",
+				aggs[i], rel*100, means[i].Mean(), truths[i])
+		}
+	}
+}
+
+// §4.1's lower bound: on a static database REISSUE's update cost is two
+// queries per drill down, so its per-round drill count converges to ~G/2.
+func TestReissueStaticCostLowerBound(t *testing.T) {
+	data := workload.AutosLikeN(20, 20000, 10)
+	env, err := workload.NewEnv(data, 20000, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface := hiddendb.NewIface(env.Store, 100, nil)
+	e, err := NewReissue(env.Store.Schema(), []*agg.Aggregate{agg.CountAll()}, cfg(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const g = 300
+	var lastRoundDrills int
+	for round := 1; round <= 12; round++ {
+		before := e.DrillDowns()
+		if err := e.Step(iface.NewSession(g)); err != nil {
+			t.Fatal(err)
+		}
+		lastRoundDrills = e.DrillDowns() - before
+	}
+	// At steady state the pool saturates at ~G/2 updatable drill downs
+	// (each costing exactly 2 queries when nothing changes).
+	if lastRoundDrills < g/2-g/10 || lastRoundDrills > g/2+g/10 {
+		t.Errorf("steady-state drills/round = %d, want ≈ G/2 = %d", lastRoundDrills, g/2)
+	}
+}
+
+// Theorem 3.2's qualitative content: under deletions-only change the
+// reissued update stays cheap — the expected update cost is far below a
+// fresh drill down plus bounded by the occasional roll-up.
+func TestUpdateCostUnderDeletionsOnly(t *testing.T) {
+	data := workload.AutosLikeN(30, 30000, 10)
+	env, err := workload.NewEnv(data, 28000, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface := hiddendb.NewIface(env.Store, 100, nil)
+	e, err := NewReissue(env.Store.Schema(), []*agg.Aggregate{agg.CountAll()}, cfg(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Step(iface.NewSession(400)); err != nil {
+		t.Fatal(err)
+	}
+	firstRoundDrills := e.DrillDowns()
+	firstRoundCost := float64(e.UsedLastRound()) / float64(firstRoundDrills)
+
+	// Delete 20% and update.
+	if err := env.DeleteFraction(0.2); err != nil {
+		t.Fatal(err)
+	}
+	before := e.DrillDowns()
+	if err := e.Step(iface.NewSession(400)); err != nil {
+		t.Fatal(err)
+	}
+	updates := e.DrillDowns() - before
+	updateCost := float64(e.UsedLastRound()) / float64(updates)
+	if updateCost >= firstRoundCost {
+		t.Errorf("update cost %.2f not below fresh drill cost %.2f under deletions",
+			updateCost, firstRoundCost)
+	}
+}

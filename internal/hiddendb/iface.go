@@ -1,0 +1,313 @@
+package hiddendb
+
+import (
+	"container/heap"
+	"sort"
+
+	"github.com/dynagg/dynagg/internal/schema"
+)
+
+// Scorer is the proprietary ranking function of the web interface: higher
+// scores rank earlier, so an overflowing query returns the k highest-scored
+// matching tuples. The paper treats the scoring function as an opaque
+// property of the site; estimator correctness must not depend on it, which
+// the test suite verifies by running the estimators under several scorers.
+type Scorer func(*schema.Tuple) float64
+
+// DefaultScorer ranks tuples by a deterministic hash of their ID — an
+// arbitrary-but-stable stand-in for a site's relevance ranking.
+func DefaultScorer(t *schema.Tuple) float64 {
+	return float64(splitmix64(t.ID)) / float64(^uint64(0))
+}
+
+// AuxScorer ranks tuples by their i-th auxiliary payload (e.g. price),
+// modelling sites that sort by price or recency.
+func AuxScorer(i int) Scorer {
+	return func(t *schema.Tuple) float64 {
+		if i < len(t.Aux) {
+			return t.Aux[i]
+		}
+		return 0
+	}
+}
+
+// splitmix64 is the SplitMix64 finalizer, a strong deterministic mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Iface is the restrictive search interface over a Store: conjunctive
+// queries in, at most k ranked tuples plus an overflow flag out. It also
+// maintains a per-store-version answer cache; the cache is purely a
+// simulator-side speedup (the same query re-issued within a round returns
+// the same answer anyway, since the round-update model freezes the data)
+// and never affects query-cost accounting, which is done by Session.
+type Iface struct {
+	st      *Store
+	k       int
+	scorer  Scorer
+	queries uint64 // lifetime query count across all sessions
+
+	cache        map[string]Result
+	cacheVersion uint64
+}
+
+// NewIface creates a top-k view of the store. scorer may be nil for the
+// default hash ranking. It panics if k < 1.
+func NewIface(st *Store, k int, scorer Scorer) *Iface {
+	if k < 1 {
+		panic("hiddendb: interface k must be >= 1")
+	}
+	if scorer == nil {
+		scorer = DefaultScorer
+	}
+	return &Iface{st: st, k: k, scorer: scorer, cache: make(map[string]Result)}
+}
+
+// K returns the result cap of the interface.
+func (f *Iface) K() int { return f.k }
+
+// Schema returns the queryable schema.
+func (f *Iface) Schema() *schema.Schema { return f.st.Schema() }
+
+// TotalQueries returns the lifetime number of queries answered, across all
+// sessions — the harness uses it for cumulative query-cost figures.
+func (f *Iface) TotalQueries() uint64 { return f.queries }
+
+// Search answers one query. It never fails; budget enforcement lives in
+// Session.
+func (f *Iface) Search(q Query) (Result, error) {
+	f.queries++
+	if v := f.st.Version(); v != f.cacheVersion {
+		f.cache = make(map[string]Result)
+		f.cacheVersion = v
+	}
+	key := q.Key()
+	if r, ok := f.cache[key]; ok {
+		return r, nil
+	}
+	r := f.answer(q)
+	f.cache[key] = r
+	return r, nil
+}
+
+// tupleHeap is a min-heap by (score, ID) keeping the best k tuples seen.
+type tupleHeap struct {
+	items  []*schema.Tuple
+	scores []float64
+}
+
+func (h *tupleHeap) Len() int { return len(h.items) }
+func (h *tupleHeap) Less(i, j int) bool {
+	if h.scores[i] != h.scores[j] {
+		return h.scores[i] < h.scores[j]
+	}
+	return h.items[i].ID > h.items[j].ID // worse = larger ID on ties
+}
+func (h *tupleHeap) Swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.scores[i], h.scores[j] = h.scores[j], h.scores[i]
+}
+func (h *tupleHeap) Push(x any) {
+	p := x.(scored)
+	h.items = append(h.items, p.t)
+	h.scores = append(h.scores, p.s)
+}
+func (h *tupleHeap) Pop() any {
+	n := len(h.items) - 1
+	p := scored{t: h.items[n], s: h.scores[n]}
+	h.items = h.items[:n]
+	h.scores = h.scores[:n]
+	return p
+}
+
+type scored struct {
+	t *schema.Tuple
+	s float64
+}
+
+// answer computes the uncached top-k result.
+func (f *Iface) answer(q Query) Result {
+	h := &tupleHeap{}
+	matches := 0
+	f.st.scanMatching(q, func(t *schema.Tuple) {
+		matches++
+		s := f.scorer(t)
+		if h.Len() < f.k {
+			heap.Push(h, scored{t: t, s: s})
+			return
+		}
+		// Replace the current worst if strictly better.
+		if s > h.scores[0] || (s == h.scores[0] && t.ID < h.items[0].ID) {
+			h.items[0], h.scores[0] = t, s
+			heap.Fix(h, 0)
+		}
+	})
+	res := Result{Overflow: matches > f.k}
+	res.Tuples = make([]*schema.Tuple, h.Len())
+	scs := make([]float64, h.Len())
+	copy(res.Tuples, h.items)
+	copy(scs, h.scores)
+	// Rank best-first, deterministic.
+	sort.Sort(&rankSort{tuples: res.Tuples, scores: scs})
+	return res
+}
+
+type rankSort struct {
+	tuples []*schema.Tuple
+	scores []float64
+}
+
+func (r *rankSort) Len() int { return len(r.tuples) }
+func (r *rankSort) Less(i, j int) bool {
+	if r.scores[i] != r.scores[j] {
+		return r.scores[i] > r.scores[j]
+	}
+	return r.tuples[i].ID < r.tuples[j].ID
+}
+func (r *rankSort) Swap(i, j int) {
+	r.tuples[i], r.tuples[j] = r.tuples[j], r.tuples[i]
+	r.scores[i], r.scores[j] = r.scores[j], r.scores[i]
+}
+
+// Session enforces the per-round query budget G on top of an Iface and
+// optionally drives the constant-update model by running a hook before
+// each query (the harness uses the hook to apply mid-round updates,
+// modelling databases that change while the algorithm is executing, §5.2).
+type Session struct {
+	f         *Iface
+	budget    int
+	used      int
+	preSearch func(queryIndex int)
+}
+
+// NewSession starts a round with budget G (G <= 0 means unlimited).
+func (f *Iface) NewSession(g int) *Session {
+	return &Session{f: f, budget: g}
+}
+
+// SetPreSearchHook installs fn, invoked with the 0-based index of each
+// query just before it is answered. Harness-only: estimators never see it.
+func (s *Session) SetPreSearchHook(fn func(queryIndex int)) { s.preSearch = fn }
+
+// Search issues one query, consuming one unit of budget.
+func (s *Session) Search(q Query) (Result, error) {
+	if s.budget > 0 && s.used >= s.budget {
+		return Result{}, ErrBudgetExhausted
+	}
+	if s.preSearch != nil {
+		s.preSearch(s.used)
+	}
+	s.used++
+	return s.f.Search(q)
+}
+
+// K returns the interface's result cap.
+func (s *Session) K() int { return s.f.K() }
+
+// Schema returns the queryable schema.
+func (s *Session) Schema() *schema.Schema { return s.f.Schema() }
+
+// Used returns the number of queries issued in this session.
+func (s *Session) Used() int { return s.used }
+
+// Remaining returns the unused budget, or a negative number if unlimited.
+func (s *Session) Remaining() int {
+	if s.budget <= 0 {
+		return -1
+	}
+	return s.budget - s.used
+}
+
+// Budget returns the session's budget G (<=0 means unlimited).
+func (s *Session) Budget() int { return s.budget }
+
+var _ Searcher = (*Session)(nil)
+var _ Searcher = ifaceSearcher{}
+
+// CountingIface is an Iface that additionally reports each query's result
+// count, capped at countCap — modelling sites that display "1,000+
+// results". The paper's core model assumes no COUNT metadata (§2.1 worst
+// case); this interface supports the §8 future-work extension of
+// count-guided drill downs.
+type CountingIface struct {
+	f        *Iface
+	countCap int
+}
+
+// NewCountingIface wraps a store in a top-k interface that also reports
+// capped result counts. countCap <= 0 means uncapped (exact counts).
+func NewCountingIface(st *Store, k int, scorer Scorer, countCap int) *CountingIface {
+	return &CountingIface{f: NewIface(st, k, scorer), countCap: countCap}
+}
+
+// K returns the result cap of the interface.
+func (c *CountingIface) K() int { return c.f.K() }
+
+// CountCap returns the display cap on counts (0 = exact).
+func (c *CountingIface) CountCap() int { return c.countCap }
+
+// Schema returns the queryable schema.
+func (c *CountingIface) Schema() *schema.Schema { return c.f.Schema() }
+
+// SearchWithCount answers one query with its (capped) result count. The
+// second return is the displayed count: min(|Sel(q)|, countCap), and
+// capped reports whether the true count exceeds the cap.
+func (c *CountingIface) SearchWithCount(q Query) (res Result, count int, capped bool, err error) {
+	res, err = c.f.Search(q)
+	if err != nil {
+		return res, 0, false, err
+	}
+	true0 := c.f.st.CountMatching(q)
+	if c.countCap > 0 && true0 > c.countCap {
+		return res, c.countCap, true, nil
+	}
+	return res, true0, false, nil
+}
+
+// NewCountingSession starts a budgeted round against the counting
+// interface.
+func (c *CountingIface) NewCountingSession(g int) *CountingSession {
+	return &CountingSession{c: c, budget: g}
+}
+
+// CountingSession enforces the per-round budget over a CountingIface.
+type CountingSession struct {
+	c      *CountingIface
+	budget int
+	used   int
+}
+
+// SearchWithCount issues one query, consuming one unit of budget.
+func (s *CountingSession) SearchWithCount(q Query) (Result, int, bool, error) {
+	if s.budget > 0 && s.used >= s.budget {
+		return Result{}, 0, false, ErrBudgetExhausted
+	}
+	s.used++
+	return s.c.SearchWithCount(q)
+}
+
+// Used returns the queries issued in this session.
+func (s *CountingSession) Used() int { return s.used }
+
+// Remaining returns the unused budget (negative when unlimited).
+func (s *CountingSession) Remaining() int {
+	if s.budget <= 0 {
+		return -1
+	}
+	return s.budget - s.used
+}
+
+// ifaceSearcher adapts Iface to Searcher for unbudgeted uses (tests,
+// ground-truth-free exploration tools).
+type ifaceSearcher struct{ f *Iface }
+
+// AsSearcher returns an unbudgeted Searcher view of the interface.
+func (f *Iface) AsSearcher() Searcher { return ifaceSearcher{f: f} }
+
+func (s ifaceSearcher) Search(q Query) (Result, error) { return s.f.Search(q) }
+func (s ifaceSearcher) K() int                         { return s.f.K() }
+func (s ifaceSearcher) Schema() *schema.Schema         { return s.f.Schema() }

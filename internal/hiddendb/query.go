@@ -1,0 +1,151 @@
+// Package hiddendb simulates a hidden web database (paper §2.1): a
+// collection of distinct categorical tuples reachable only through a
+// restrictive top-k conjunctive search interface, with per-round query
+// budgets and support for both the round-update and constant-update models.
+//
+// The package separates three capabilities:
+//
+//   - Store: full access to the data. Only the simulation harness touches
+//     it — to apply updates and compute exact ground truth.
+//   - Iface: the restricted search view (top-k, overflow flag, no counts).
+//     This is all an estimator may use.
+//   - Session: a per-round budget wrapper around an Iface, enforcing the
+//     database-imposed limit G (paper §2.1: per-IP/per-key daily limits).
+package hiddendb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/dynagg/dynagg/internal/schema"
+)
+
+// Pred is one conjunctive predicate Ai = v. Val may be schema.NullCode to
+// express an IS NULL predicate over a nullable attribute.
+type Pred struct {
+	Attr int
+	Val  uint16
+}
+
+// Query is a conjunctive search query: SELECT * FROM D WHERE Ai1=u1 AND ...
+// The zero value is the unrestricted query SELECT * FROM D (the query tree
+// root). Predicates are kept sorted by attribute index; a Query is
+// immutable after construction.
+type Query struct {
+	preds []Pred
+}
+
+// NewQuery builds a query from predicates. It panics on duplicate
+// attributes, since queries are only built by trusted tree-walking code
+// and a duplicate would silently corrupt selectivity math.
+func NewQuery(preds ...Pred) Query {
+	cp := make([]Pred, len(preds))
+	copy(cp, preds)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Attr < cp[j].Attr })
+	for i := 1; i < len(cp); i++ {
+		if cp[i].Attr == cp[i-1].Attr {
+			panic(fmt.Sprintf("hiddendb: duplicate predicate on attribute %d", cp[i].Attr))
+		}
+	}
+	return Query{preds: cp}
+}
+
+// And returns a new query with one additional predicate.
+func (q Query) And(attr int, val uint16) Query {
+	preds := make([]Pred, 0, len(q.preds)+1)
+	preds = append(preds, q.preds...)
+	preds = append(preds, Pred{Attr: attr, Val: val})
+	return NewQuery(preds...)
+}
+
+// Preds returns the query's predicates in attribute order. The caller must
+// not modify the returned slice.
+func (q Query) Preds() []Pred { return q.preds }
+
+// Len returns the number of predicates.
+func (q Query) Len() int { return len(q.preds) }
+
+// Key returns a canonical string encoding, usable as a cache/map key.
+func (q Query) Key() string {
+	var b strings.Builder
+	b.Grow(len(q.preds) * 8)
+	for _, p := range q.preds {
+		fmt.Fprintf(&b, "%d=%d;", p.Attr, p.Val)
+	}
+	return b.String()
+}
+
+// String renders the query with attribute names from the schema.
+func (q Query) String() string {
+	if len(q.preds) == 0 {
+		return "SELECT * FROM D"
+	}
+	parts := make([]string, len(q.preds))
+	for i, p := range q.preds {
+		parts[i] = fmt.Sprintf("A%d=%d", p.Attr+1, p.Val)
+	}
+	return "SELECT * FROM D WHERE " + strings.Join(parts, " AND ")
+}
+
+// Matches reports whether tuple t satisfies the query under the given NULL
+// policy. With broad match enabled, a NULL value matches any predicate on
+// its attribute (paper §5 "Other Issues").
+func (q Query) Matches(t *schema.Tuple, broadMatchNull bool) bool {
+	for _, p := range q.preds {
+		v := t.Vals[p.Attr]
+		if v == p.Val {
+			continue
+		}
+		if broadMatchNull && v == schema.NullCode {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// prefixLen returns the number of leading predicates that form a prefix of
+// the canonical attribute order 0,1,2,... — i.e., the longest L such that
+// the query constrains exactly attributes 0..L-1 among its first L
+// predicates. Prefix predicates with NULL values do not qualify (NULL
+// sorts outside the domain range).
+func (q Query) prefixLen() int {
+	for i, p := range q.preds {
+		if p.Attr != i || p.Val == schema.NullCode {
+			return i
+		}
+	}
+	return len(q.preds)
+}
+
+// Result is what the restrictive interface returns: at most k tuples
+// (ranked by the proprietary scoring function) and an overflow flag.
+// Crucially there is no total count — the estimators must work without
+// COUNT metadata (paper §2.1 worst-case assumption).
+type Result struct {
+	Tuples   []*schema.Tuple
+	Overflow bool
+}
+
+// Underflow reports whether the query returned no tuples.
+func (r Result) Underflow() bool { return len(r.Tuples) == 0 && !r.Overflow }
+
+// Valid reports whether the query returned between 1 and k tuples
+// (paper §2.1's definition of a valid query).
+func (r Result) Valid() bool { return len(r.Tuples) > 0 && !r.Overflow }
+
+// ErrBudgetExhausted is returned by Session.Search when the per-round
+// query limit G has been reached.
+var ErrBudgetExhausted = errors.New("hiddendb: per-round query budget exhausted")
+
+// Searcher is the only view of the database available to estimators.
+type Searcher interface {
+	// Search issues one conjunctive query and returns its top-k result.
+	Search(q Query) (Result, error)
+	// K returns the interface's result cap.
+	K() int
+	// Schema describes the queryable attributes.
+	Schema() *schema.Schema
+}

@@ -1,0 +1,291 @@
+package hiddendb
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dynagg/dynagg/internal/schema"
+)
+
+// Store owns the database contents. Tuples are kept sorted in canonical
+// attribute order (lexicographic on value codes, ID tiebreak) so that the
+// prefix-conjunctive queries issued by drill downs resolve to contiguous
+// ranges found by binary search.
+//
+// Only the simulation harness holds a *Store; estimators see it through
+// Iface/Session. All methods are single-goroutine: the simulation is a
+// deterministic sequential process (one core, seeded RNGs), and the paper's
+// query model is inherently sequential (a budget of G queries per round).
+type Store struct {
+	sch            *schema.Schema
+	tuples         []*schema.Tuple // sorted by (Vals, ID)
+	byID           map[uint64]*schema.Tuple
+	version        uint64
+	nextID         uint64
+	broadMatchNull bool
+}
+
+// NewStore creates an empty store over the given schema.
+func NewStore(sch *schema.Schema) *Store {
+	return &Store{
+		sch:    sch,
+		byID:   make(map[uint64]*schema.Tuple),
+		nextID: 1,
+	}
+}
+
+// SetBroadMatchNull switches the NULL semantics of the search interface to
+// broad match: a tuple with NULL in Ai is returned by any query with a
+// predicate on Ai (paper §5 "Other Issues"). Default is off (NULL matches
+// only IS NULL predicates).
+func (st *Store) SetBroadMatchNull(on bool) {
+	st.broadMatchNull = on
+	st.version++
+}
+
+// BroadMatchNull reports the current NULL matching policy.
+func (st *Store) BroadMatchNull() bool { return st.broadMatchNull }
+
+// Schema returns the store's schema.
+func (st *Store) Schema() *schema.Schema { return st.sch }
+
+// Size returns the current number of tuples, |D|.
+func (st *Store) Size() int { return len(st.tuples) }
+
+// Version increases on every modification; interfaces use it to invalidate
+// per-round result caches.
+func (st *Store) Version() uint64 { return st.version }
+
+// NextID reserves and returns a fresh unique tuple ID.
+func (st *Store) NextID() uint64 {
+	id := st.nextID
+	st.nextID++
+	return id
+}
+
+// less orders tuples by value vector then ID.
+func less(a, b *schema.Tuple) bool {
+	c := schema.CompareVals(a.Vals, b.Vals)
+	if c != 0 {
+		return c < 0
+	}
+	return a.ID < b.ID
+}
+
+// searchPos returns the insertion position of t in the sorted slice.
+func (st *Store) searchPos(t *schema.Tuple) int {
+	return sort.Search(len(st.tuples), func(i int) bool { return !less(st.tuples[i], t) })
+}
+
+// Insert adds one tuple. The tuple must validate against the schema and
+// carry an ID not already present. Inserting is O(n) (memmove); bulk
+// changes should use ApplyBatch.
+func (st *Store) Insert(t *schema.Tuple) error {
+	if err := st.sch.Validate(t.Vals); err != nil {
+		return err
+	}
+	if t.ID == 0 {
+		return fmt.Errorf("hiddendb: tuple ID 0 is reserved")
+	}
+	if _, ok := st.byID[t.ID]; ok {
+		return fmt.Errorf("hiddendb: duplicate tuple ID %d", t.ID)
+	}
+	if t.ID >= st.nextID {
+		st.nextID = t.ID + 1
+	}
+	pos := st.searchPos(t)
+	st.tuples = append(st.tuples, nil)
+	copy(st.tuples[pos+1:], st.tuples[pos:])
+	st.tuples[pos] = t
+	st.byID[t.ID] = t
+	st.version++
+	return nil
+}
+
+// Delete removes the tuple with the given ID, returning it.
+func (st *Store) Delete(id uint64) (*schema.Tuple, error) {
+	t, ok := st.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("hiddendb: no tuple with ID %d", id)
+	}
+	pos := st.searchPos(t)
+	for pos < len(st.tuples) && st.tuples[pos].ID != id {
+		pos++
+	}
+	if pos == len(st.tuples) {
+		panic(fmt.Sprintf("hiddendb: index out of sync for tuple %d", id))
+	}
+	copy(st.tuples[pos:], st.tuples[pos+1:])
+	st.tuples = st.tuples[:len(st.tuples)-1]
+	delete(st.byID, id)
+	st.version++
+	return t, nil
+}
+
+// Replace atomically substitutes the tuple with the given ID by a modified
+// copy produced by mutate. This models in-place updates (e.g. a price
+// change on an eBay listing): the logical tuple keeps its ID, old pointers
+// held by estimators keep their historical snapshot values.
+func (st *Store) Replace(id uint64, mutate func(copy *schema.Tuple)) error {
+	old, ok := st.byID[id]
+	if !ok {
+		return fmt.Errorf("hiddendb: no tuple with ID %d", id)
+	}
+	repl := old.Clone(id)
+	mutate(repl)
+	if err := st.sch.Validate(repl.Vals); err != nil {
+		return err
+	}
+	if _, err := st.Delete(id); err != nil {
+		return err
+	}
+	return st.Insert(repl)
+}
+
+// Get returns the live tuple with the given ID, or nil.
+func (st *Store) Get(id uint64) *schema.Tuple { return st.byID[id] }
+
+// ApplyBatch applies a round's worth of updates in one merge pass:
+// deletions (by ID) first, then insertions. Cost is O(n + i·log i) rather
+// than O((i+d)·n), which matters for the 10^7-tuple scalability sweep.
+func (st *Store) ApplyBatch(inserts []*schema.Tuple, deleteIDs []uint64) error {
+	del := make(map[uint64]bool, len(deleteIDs))
+	for _, id := range deleteIDs {
+		if _, ok := st.byID[id]; !ok {
+			return fmt.Errorf("hiddendb: batch delete of unknown ID %d", id)
+		}
+		if del[id] {
+			return fmt.Errorf("hiddendb: duplicate delete of ID %d", id)
+		}
+		del[id] = true
+	}
+	ins := make([]*schema.Tuple, len(inserts))
+	copy(ins, inserts)
+	for _, t := range ins {
+		if err := st.sch.Validate(t.Vals); err != nil {
+			return err
+		}
+		if t.ID == 0 {
+			return fmt.Errorf("hiddendb: tuple ID 0 is reserved")
+		}
+		if _, ok := st.byID[t.ID]; ok && !del[t.ID] {
+			return fmt.Errorf("hiddendb: duplicate tuple ID %d", t.ID)
+		}
+		if t.ID >= st.nextID {
+			st.nextID = t.ID + 1
+		}
+	}
+	sort.Slice(ins, func(i, j int) bool { return less(ins[i], ins[j]) })
+	for i := 1; i < len(ins); i++ {
+		if ins[i].ID == ins[i-1].ID {
+			return fmt.Errorf("hiddendb: duplicate tuple ID %d in batch", ins[i].ID)
+		}
+	}
+
+	merged := make([]*schema.Tuple, 0, len(st.tuples)-len(del)+len(ins))
+	i, j := 0, 0
+	for i < len(st.tuples) || j < len(ins) {
+		switch {
+		case i == len(st.tuples):
+			merged = append(merged, ins[j])
+			j++
+		case del[st.tuples[i].ID]:
+			i++
+		case j == len(ins) || less(st.tuples[i], ins[j]):
+			merged = append(merged, st.tuples[i])
+			i++
+		default:
+			merged = append(merged, ins[j])
+			j++
+		}
+	}
+	for _, id := range deleteIDs {
+		delete(st.byID, id)
+	}
+	for _, t := range ins {
+		st.byID[t.ID] = t
+	}
+	st.tuples = merged
+	st.version++
+	return nil
+}
+
+// ForEach visits every live tuple in canonical order. fn must not mutate
+// the store. This is the harness's ground-truth access path.
+func (st *Store) ForEach(fn func(*schema.Tuple)) {
+	for _, t := range st.tuples {
+		fn(t)
+	}
+}
+
+// At returns the i-th tuple in canonical order (0 ≤ i < Size). Schedules
+// use it to sample single victims without materialising the ID list.
+func (st *Store) At(i int) *schema.Tuple { return st.tuples[i] }
+
+// IDs returns the IDs of all live tuples in canonical order. It allocates;
+// intended for schedules that sample deletion victims.
+func (st *Store) IDs() []uint64 {
+	out := make([]uint64, len(st.tuples))
+	for i, t := range st.tuples {
+		out[i] = t.ID
+	}
+	return out
+}
+
+// CountMatching returns |Sel(q)| exactly — ground truth only, never
+// exposed through the restricted interface.
+func (st *Store) CountMatching(q Query) int {
+	n := 0
+	lo, hi, full := st.rangeOf(q)
+	if full {
+		for _, t := range st.tuples {
+			if q.Matches(t, st.broadMatchNull) {
+				n++
+			}
+		}
+		return n
+	}
+	for _, t := range st.tuples[lo:hi] {
+		if q.Matches(t, st.broadMatchNull) {
+			n++
+		}
+	}
+	return n
+}
+
+// rangeOf locates the contiguous slice of tuples matching the query's
+// canonical-order prefix. full=true means the whole store must be scanned
+// (no usable prefix, or NULL broad-match semantics break range pruning).
+func (st *Store) rangeOf(q Query) (lo, hi int, full bool) {
+	pl := q.prefixLen()
+	if pl == 0 || st.broadMatchNull {
+		return 0, len(st.tuples), true
+	}
+	prefix := make([]uint16, pl)
+	for i := 0; i < pl; i++ {
+		prefix[i] = q.preds[i].Val
+	}
+	lo = sort.Search(len(st.tuples), func(i int) bool {
+		return schema.CompareVals(st.tuples[i].Vals[:pl], prefix) >= 0
+	})
+	hi = sort.Search(len(st.tuples), func(i int) bool {
+		return schema.CompareVals(st.tuples[i].Vals[:pl], prefix) > 0
+	})
+	return lo, hi, false
+}
+
+// scanMatching yields tuples matching q, using the prefix range when
+// available. The remaining (non-prefix) predicates are applied as filters;
+// on a full scan every predicate is re-checked.
+func (st *Store) scanMatching(q Query, fn func(*schema.Tuple)) {
+	lo, hi, full := st.rangeOf(q)
+	restQ := q
+	if !full {
+		restQ = Query{preds: q.preds[q.prefixLen():]}
+	}
+	for _, t := range st.tuples[lo:hi] {
+		if len(restQ.preds) == 0 || restQ.Matches(t, st.broadMatchNull) {
+			fn(t)
+		}
+	}
+}

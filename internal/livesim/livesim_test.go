@@ -1,0 +1,173 @@
+package livesim
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/dynagg/dynagg/internal/schema"
+)
+
+func TestAmazonPromoDropsAveragePrice(t *testing.T) {
+	a, err := NewAmazon(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggs := a.Aggregates()
+	avgPrice := aggs[0]
+
+	var prices []float64
+	for round := 1; round <= a.Rounds(); round++ {
+		if err := a.StepDay(round); err != nil {
+			t.Fatal(err)
+		}
+		prices = append(prices, avgPrice.Truth(a.Env.Store))
+	}
+	// Promo rounds are 4 and 5 (Nov 28–29): prices must dip then recover.
+	pre, promo, post := prices[2], prices[3], prices[6]
+	if promo >= pre-20 {
+		t.Errorf("promo did not drop price enough: %v -> %v", pre, promo)
+	}
+	if post <= promo+20 {
+		t.Errorf("price did not recover: promo %v, post %v", promo, post)
+	}
+	if prices[3] >= prices[2] || prices[4] >= prices[2] {
+		t.Errorf("promo days not lower: %v", prices)
+	}
+}
+
+func TestAmazonProportionsStayFlat(t *testing.T) {
+	a, err := NewAmazon(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggs := a.Aggregates()
+	men, wrist := aggs[1], aggs[2]
+	m0 := men.Truth(a.Env.Store)
+	w0 := wrist.Truth(a.Env.Store)
+	for round := 1; round <= a.Rounds(); round++ {
+		if err := a.StepDay(round); err != nil {
+			t.Fatal(err)
+		}
+		m := men.Truth(a.Env.Store)
+		w := wrist.Truth(a.Env.Store)
+		if m < m0-0.05 || m > m0+0.05 {
+			t.Errorf("round %d: %%men moved too much: %v vs %v", round, m, m0)
+		}
+		if w < w0-0.05 || w > w0+0.05 {
+			t.Errorf("round %d: %%wrist moved too much: %v vs %v", round, w, w0)
+		}
+	}
+}
+
+func TestAmazonRoundBounds(t *testing.T) {
+	a, err := NewAmazon(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.StepDay(0); err == nil {
+		t.Error("round 0 accepted")
+	}
+	if err := a.StepDay(len(AmazonDays) + 1); err == nil {
+		t.Error("round beyond schedule accepted")
+	}
+	if a.Interface().K() != 100 {
+		t.Errorf("amazon k = %d", a.Interface().K())
+	}
+}
+
+func TestEBayFixAboveBid(t *testing.T) {
+	e, err := NewEBay(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix, bid := e.FixAggregate(), e.BidAggregate()
+	for round := 1; round <= e.Rounds(); round++ {
+		if err := e.StepHour(round); err != nil {
+			t.Fatal(err)
+		}
+		f, b := fix.Truth(e.Env.Store), bid.Truth(e.Env.Store)
+		if f <= 1.5*b {
+			t.Errorf("round %d: FIX avg %v not well above BID avg %v", round, f, b)
+		}
+	}
+}
+
+func TestEBayBidChurnsFasterThanFix(t *testing.T) {
+	e, err := NewEBay(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count surviving IDs per class across the run.
+	fixIDs := make(map[uint64]bool)
+	bidIDs := make(map[uint64]bool)
+	e.Env.Store.ForEach(func(t *schema.Tuple) {
+		if t.Vals[ebType] == 0 {
+			fixIDs[t.ID] = true
+		} else {
+			bidIDs[t.ID] = true
+		}
+	})
+	for round := 1; round <= e.Rounds(); round++ {
+		if err := e.StepHour(round); err != nil {
+			t.Fatal(err)
+		}
+	}
+	surviving := func(ids map[uint64]bool) float64 {
+		alive := 0
+		for id := range ids {
+			if e.Env.Store.Get(id) != nil {
+				alive++
+			}
+		}
+		return float64(alive) / float64(len(ids))
+	}
+	fs, bs := surviving(fixIDs), surviving(bidIDs)
+	if bs >= fs {
+		t.Errorf("BID survival %v not below FIX survival %v", bs, fs)
+	}
+}
+
+func TestEBayBidPricesClimb(t *testing.T) {
+	e, err := NewEBay(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bid := e.BidAggregate()
+	start := bid.Truth(e.Env.Store)
+	for round := 1; round <= e.Rounds(); round++ {
+		if err := e.StepHour(round); err != nil {
+			t.Fatal(err)
+		}
+	}
+	end := bid.Truth(e.Env.Store)
+	if end <= start {
+		t.Errorf("bid snapshots did not climb: %v -> %v", start, end)
+	}
+}
+
+func TestEBayRoundBounds(t *testing.T) {
+	e, err := NewEBay(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StepHour(0); err == nil {
+		t.Error("round 0 accepted")
+	}
+	if err := e.StepHour(99); err == nil {
+		t.Error("round 99 accepted")
+	}
+}
+
+func TestPickRespectsWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	counts := make([]int, 3)
+	for i := 0; i < 10000; i++ {
+		counts[pick(rng, []float64{0.7, 0.2, 0.1})]++
+	}
+	if counts[0] < 6500 || counts[0] > 7500 {
+		t.Errorf("weight 0.7 produced %d/10000", counts[0])
+	}
+	if counts[2] > counts[1] {
+		t.Errorf("weights inverted: %v", counts)
+	}
+}

@@ -1,0 +1,207 @@
+// Package schema models the categorical relational schema of a hidden web
+// database (paper §2.1): m attributes A1..Am, each with a finite domain Ui,
+// and distinct tuples t with t[Ai] ∈ Ui.
+//
+// Values are stored as small integer codes (indices into the attribute's
+// domain). Numerical attributes are assumed to have been discretised into
+// categorical buckets, exactly as the paper prescribes; tuples may
+// additionally carry auxiliary numeric payloads (e.g. an exact price) that
+// are returned by the search interface but are not searchable — this is how
+// the live-experiment simulators model "price" without violating the
+// categorical query model.
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NullCode marks a NULL value in a nullable attribute. The paper's core
+// model assumes no NULLs; §5 "Other Issues" discusses the two real-world
+// policies (IS NULL predicates, broad match), both of which the hiddendb
+// package supports when a schema declares nullable attributes.
+const NullCode uint16 = 0xFFFF
+
+// Attr is one categorical attribute.
+type Attr struct {
+	// Name identifies the attribute in query strings and diagnostics.
+	Name string
+	// Domain holds the value labels; a value code is an index into it.
+	Domain []string
+	// Nullable marks attributes that may hold NullCode.
+	Nullable bool
+}
+
+// Size returns the domain size |Ui| (excluding NULL).
+func (a *Attr) Size() int { return len(a.Domain) }
+
+// Schema is an ordered list of attributes.
+type Schema struct {
+	attrs []Attr
+}
+
+// New builds a Schema from the given attributes. It panics if any
+// attribute has an empty domain or a duplicate name, since a schema is
+// always constructed from trusted generator code.
+func New(attrs []Attr) *Schema {
+	seen := make(map[string]bool, len(attrs))
+	for i, a := range attrs {
+		if len(a.Domain) == 0 {
+			panic(fmt.Sprintf("schema: attribute %d (%q) has empty domain", i, a.Name))
+		}
+		if len(a.Domain) > int(NullCode) {
+			panic(fmt.Sprintf("schema: attribute %q domain too large (%d)", a.Name, len(a.Domain)))
+		}
+		if seen[a.Name] {
+			panic(fmt.Sprintf("schema: duplicate attribute name %q", a.Name))
+		}
+		seen[a.Name] = true
+	}
+	cp := make([]Attr, len(attrs))
+	copy(cp, attrs)
+	return &Schema{attrs: cp}
+}
+
+// Uniform builds a schema of m attributes named A1..Am, each with the same
+// domain size. It is the shape used by the paper's boolean examples
+// (§3.2.1) and the scalability sweep (Fig 12, m = 50).
+func Uniform(m, domainSize int) *Schema {
+	attrs := make([]Attr, m)
+	for i := range attrs {
+		dom := make([]string, domainSize)
+		for v := range dom {
+			dom[v] = fmt.Sprintf("v%d", v)
+		}
+		attrs[i] = Attr{Name: fmt.Sprintf("A%d", i+1), Domain: dom}
+	}
+	return New(attrs)
+}
+
+// M returns the number of attributes.
+func (s *Schema) M() int { return len(s.attrs) }
+
+// Attr returns the i-th attribute (0-based).
+func (s *Schema) Attr(i int) *Attr { return &s.attrs[i] }
+
+// DomainSize returns |Ui| for the i-th attribute.
+func (s *Schema) DomainSize(i int) int { return len(s.attrs[i].Domain) }
+
+// MaxDomainSize returns max_i |Ui| (used by the Theorem 3.2 bound).
+func (s *Schema) MaxDomainSize() int {
+	best := 0
+	for i := range s.attrs {
+		if n := len(s.attrs[i].Domain); n > best {
+			best = n
+		}
+	}
+	return best
+}
+
+// AttrIndex returns the index of the attribute with the given name, or -1.
+func (s *Schema) AttrIndex(name string) int {
+	for i := range s.attrs {
+		if s.attrs[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Project returns a new schema containing only the first m attributes.
+// The Fig 11 sweep (effect of m) uses projections of the Autos-like schema.
+func (s *Schema) Project(m int) *Schema {
+	if m < 1 || m > len(s.attrs) {
+		panic(fmt.Sprintf("schema: invalid projection width %d (m=%d)", m, len(s.attrs)))
+	}
+	return New(s.attrs[:m])
+}
+
+// Validate reports whether vals is a legal tuple assignment for s.
+func (s *Schema) Validate(vals []uint16) error {
+	if len(vals) != len(s.attrs) {
+		return fmt.Errorf("schema: tuple has %d values, want %d", len(vals), len(s.attrs))
+	}
+	for i, v := range vals {
+		if v == NullCode {
+			if !s.attrs[i].Nullable {
+				return fmt.Errorf("schema: NULL in non-nullable attribute %q", s.attrs[i].Name)
+			}
+			continue
+		}
+		if int(v) >= len(s.attrs[i].Domain) {
+			return fmt.Errorf("schema: value %d out of domain for attribute %q (|U|=%d)",
+				v, s.attrs[i].Name, len(s.attrs[i].Domain))
+		}
+	}
+	return nil
+}
+
+// Tuple is one immutable database row. Estimator code receives *Tuple
+// pointers from search results and must never mutate them; the store
+// replaces tuples wholesale on update so retained pointers stay valid
+// snapshots of the round in which they were retrieved.
+type Tuple struct {
+	// ID is unique and stable for the lifetime of the logical tuple.
+	ID uint64
+	// Vals holds one value code per schema attribute.
+	Vals []uint16
+	// Aux carries non-searchable numeric payloads (e.g. exact price).
+	Aux []float64
+}
+
+// Key packs the tuple's values into a comparable string, used for
+// distinctness checks by generators (the paper assumes all tuples are
+// distinct).
+func (t *Tuple) Key() string {
+	var b strings.Builder
+	b.Grow(len(t.Vals) * 3)
+	for _, v := range t.Vals {
+		b.WriteByte(byte(v))
+		b.WriteByte(byte(v >> 8))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// Clone returns a deep copy with the given new ID, used when a logical
+// update replaces a tuple (e.g. a price change).
+func (t *Tuple) Clone(newID uint64) *Tuple {
+	vals := make([]uint16, len(t.Vals))
+	copy(vals, t.Vals)
+	var aux []float64
+	if t.Aux != nil {
+		aux = make([]float64, len(t.Aux))
+		copy(aux, t.Aux)
+	}
+	return &Tuple{ID: newID, Vals: vals, Aux: aux}
+}
+
+// String renders the tuple with attribute labels for diagnostics.
+func (t *Tuple) String() string {
+	return fmt.Sprintf("tuple{id=%d vals=%v}", t.ID, t.Vals)
+}
+
+// CompareVals orders two value slices lexicographically; it is the
+// canonical order used by the hidden-database store so that conjunctive
+// prefix queries map to contiguous ranges.
+func CompareVals(a, b []uint16) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,189 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testSchema() *Schema {
+	return New([]Attr{
+		{Name: "make", Domain: []string{"ford", "toyota", "honda"}},
+		{Name: "color", Domain: []string{"red", "blue"}},
+		{Name: "year", Domain: []string{"2010", "2011", "2012", "2013"}, Nullable: true},
+	})
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := testSchema()
+	if s.M() != 3 {
+		t.Fatalf("M = %d, want 3", s.M())
+	}
+	if s.DomainSize(0) != 3 || s.DomainSize(1) != 2 || s.DomainSize(2) != 4 {
+		t.Errorf("domain sizes wrong: %d %d %d", s.DomainSize(0), s.DomainSize(1), s.DomainSize(2))
+	}
+	if s.MaxDomainSize() != 4 {
+		t.Errorf("MaxDomainSize = %d, want 4", s.MaxDomainSize())
+	}
+	if got := s.AttrIndex("color"); got != 1 {
+		t.Errorf("AttrIndex(color) = %d, want 1", got)
+	}
+	if got := s.AttrIndex("nope"); got != -1 {
+		t.Errorf("AttrIndex(nope) = %d, want -1", got)
+	}
+	if s.Attr(0).Size() != 3 {
+		t.Errorf("Attr(0).Size = %d", s.Attr(0).Size())
+	}
+}
+
+func TestSchemaNewPanics(t *testing.T) {
+	cases := []struct {
+		name  string
+		attrs []Attr
+	}{
+		{"empty domain", []Attr{{Name: "a", Domain: nil}}},
+		{"dup name", []Attr{
+			{Name: "a", Domain: []string{"x"}},
+			{Name: "a", Domain: []string{"y"}},
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%s) did not panic", c.name)
+				}
+			}()
+			New(c.attrs)
+		})
+	}
+}
+
+func TestUniform(t *testing.T) {
+	s := Uniform(5, 2)
+	if s.M() != 5 {
+		t.Fatalf("M = %d", s.M())
+	}
+	for i := 0; i < 5; i++ {
+		if s.DomainSize(i) != 2 {
+			t.Errorf("DomainSize(%d) = %d, want 2", i, s.DomainSize(i))
+		}
+	}
+	if s.Attr(0).Name != "A1" || s.Attr(4).Name != "A5" {
+		t.Errorf("attribute naming wrong: %q %q", s.Attr(0).Name, s.Attr(4).Name)
+	}
+}
+
+func TestProject(t *testing.T) {
+	s := testSchema()
+	p := s.Project(2)
+	if p.M() != 2 || p.Attr(1).Name != "color" {
+		t.Errorf("projection wrong: %d %q", p.M(), p.Attr(1).Name)
+	}
+	// Original is unchanged.
+	if s.M() != 3 {
+		t.Errorf("projection mutated source schema")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Project(0) did not panic")
+		}
+	}()
+	s.Project(0)
+}
+
+func TestValidate(t *testing.T) {
+	s := testSchema()
+	if err := s.Validate([]uint16{0, 1, 3}); err != nil {
+		t.Errorf("valid tuple rejected: %v", err)
+	}
+	if err := s.Validate([]uint16{0, 1}); err == nil {
+		t.Error("short tuple accepted")
+	}
+	if err := s.Validate([]uint16{3, 0, 0}); err == nil {
+		t.Error("out-of-domain value accepted")
+	}
+	// NULL allowed only in nullable attribute.
+	if err := s.Validate([]uint16{0, 0, NullCode}); err != nil {
+		t.Errorf("NULL in nullable attr rejected: %v", err)
+	}
+	if err := s.Validate([]uint16{NullCode, 0, 0}); err == nil {
+		t.Error("NULL in non-nullable attr accepted")
+	}
+}
+
+func TestTupleKeyDistinctness(t *testing.T) {
+	a := &Tuple{ID: 1, Vals: []uint16{1, 2, 3}}
+	b := &Tuple{ID: 2, Vals: []uint16{1, 2, 3}}
+	c := &Tuple{ID: 3, Vals: []uint16{1, 2, 4}}
+	if a.Key() != b.Key() {
+		t.Error("equal value tuples should share a key")
+	}
+	if a.Key() == c.Key() {
+		t.Error("distinct value tuples should not share a key")
+	}
+}
+
+// Property: Key is injective on value slices (up to the packing width).
+func TestTupleKeyInjective(t *testing.T) {
+	f := func(a, b []uint16) bool {
+		ta := &Tuple{Vals: a}
+		tb := &Tuple{Vals: b}
+		if ta.Key() == tb.Key() {
+			return len(a) == len(b) && CompareVals(a, b) == 0
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleClone(t *testing.T) {
+	orig := &Tuple{ID: 5, Vals: []uint16{1, 2}, Aux: []float64{9.5}}
+	cl := orig.Clone(6)
+	if cl.ID != 6 {
+		t.Errorf("clone ID = %d, want 6", cl.ID)
+	}
+	cl.Vals[0] = 99
+	cl.Aux[0] = -1
+	if orig.Vals[0] != 1 || orig.Aux[0] != 9.5 {
+		t.Error("Clone shares backing arrays with original")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	s := (&Tuple{ID: 7, Vals: []uint16{1}}).String()
+	if !strings.Contains(s, "id=7") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestCompareVals(t *testing.T) {
+	cases := []struct {
+		a, b []uint16
+		want int
+	}{
+		{[]uint16{1, 2}, []uint16{1, 2}, 0},
+		{[]uint16{1, 2}, []uint16{1, 3}, -1},
+		{[]uint16{2}, []uint16{1, 9}, 1},
+		{[]uint16{1}, []uint16{1, 0}, -1},
+		{nil, nil, 0},
+		{nil, []uint16{0}, -1},
+	}
+	for _, c := range cases {
+		if got := CompareVals(c.a, c.b); got != c.want {
+			t.Errorf("CompareVals(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: CompareVals is antisymmetric and transitive-ish via sort order.
+func TestCompareValsAntisymmetric(t *testing.T) {
+	f := func(a, b []uint16) bool {
+		return CompareVals(a, b) == -CompareVals(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,228 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return diff <= tol*scale
+}
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	if r.N() != 0 || r.Mean() != 0 || r.Var() != 0 {
+		t.Fatalf("zero value not neutral: %+v", r)
+	}
+	r.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if r.N() != 8 {
+		t.Fatalf("N = %d, want 8", r.N())
+	}
+	if got := r.Mean(); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// population variance of this classic sequence is 4
+	if got := r.PopVar(); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("PopVar = %v, want 4", got)
+	}
+	if got := r.Var(); !almostEqual(got, 32.0/7.0, 1e-12) {
+		t.Errorf("Var = %v, want 32/7", got)
+	}
+	if got := r.StdDev(); !almostEqual(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+	if got := r.VarOfMean(); !almostEqual(got, 32.0/7.0/8.0, 1e-12) {
+		t.Errorf("VarOfMean = %v", got)
+	}
+}
+
+func TestRunningSingleObservation(t *testing.T) {
+	var r Running
+	r.Add(42)
+	if r.Var() != 0 || r.VarOfMean() != 0 {
+		t.Errorf("variance with one observation should be 0, got %v", r.Var())
+	}
+	if r.Mean() != 42 {
+		t.Errorf("Mean = %v, want 42", r.Mean())
+	}
+}
+
+// Property: Running matches the naive two-pass computation.
+func TestRunningMatchesNaive(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) / 3.0
+		}
+		var r Running
+		r.AddAll(xs)
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		ss := 0.0
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		naiveVar := ss / float64(len(xs)-1)
+		return almostEqual(r.Mean(), mean, 1e-9) && almostEqual(r.Var(), naiveVar, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merging two streams equals one combined stream.
+func TestRunningMergeEquivalence(t *testing.T) {
+	f := func(a, b []int16) bool {
+		var ra, rb, rc Running
+		for _, v := range a {
+			ra.Add(float64(v))
+			rc.Add(float64(v))
+		}
+		for _, v := range b {
+			rb.Add(float64(v))
+			rc.Add(float64(v))
+		}
+		ra.Merge(rb)
+		return ra.N() == rc.N() &&
+			almostEqual(ra.Mean(), rc.Mean(), 1e-9) &&
+			almostEqual(ra.Var(), rc.Var(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanErrors(t *testing.T) {
+	if _, err := Mean(nil); err != ErrNoData {
+		t.Errorf("Mean(nil) err = %v, want ErrNoData", err)
+	}
+	m, err := Mean([]float64{1, 2, 3})
+	if err != nil || !almostEqual(m, 2, 1e-12) {
+		t.Errorf("Mean = %v, %v", m, err)
+	}
+}
+
+func TestSampleVar(t *testing.T) {
+	if v := SampleVar([]float64{5}); v != 0 {
+		t.Errorf("SampleVar single = %v, want 0", v)
+	}
+	if v := SampleVar([]float64{1, 1, 1, 1}); v != 0 {
+		t.Errorf("SampleVar constant = %v, want 0", v)
+	}
+	if v := SampleVar([]float64{1, 3}); !almostEqual(v, 2, 1e-12) {
+		t.Errorf("SampleVar{1,3} = %v, want 2", v)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	cases := []struct {
+		est, truth, want float64
+	}{
+		{110, 100, 0.10},
+		{90, 100, 0.10},
+		{-90, -100, 0.10},
+		{0, 0, 0},
+		{100, 100, 0},
+	}
+	for _, c := range cases {
+		if got := RelativeError(c.est, c.truth); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("RelativeError(%v,%v) = %v, want %v", c.est, c.truth, got, c.want)
+		}
+	}
+	if got := RelativeError(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("RelativeError(1,0) = %v, want +Inf", got)
+	}
+}
+
+func TestCombineInverseVariance(t *testing.T) {
+	// Two estimates with equal variance: plain average.
+	v, vv, err := CombineInverseVariance([]WeightedEstimate{
+		{Value: 10, Variance: 4}, {Value: 20, Variance: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(v, 15, 1e-12) {
+		t.Errorf("combined value = %v, want 15", v)
+	}
+	if !almostEqual(vv, 2, 1e-12) {
+		t.Errorf("combined variance = %v, want 2", vv)
+	}
+
+	// Lower-variance estimate dominates.
+	v, _, err = CombineInverseVariance([]WeightedEstimate{
+		{Value: 10, Variance: 1}, {Value: 20, Variance: 1e9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-10) > 0.01 {
+		t.Errorf("combined value = %v, want ~10", v)
+	}
+
+	// Zero-variance estimate is treated as exact.
+	v, vv, err = CombineInverseVariance([]WeightedEstimate{
+		{Value: 7, Variance: 0}, {Value: 100, Variance: 5},
+	})
+	if err != nil || v != 7 || vv != 0 {
+		t.Errorf("exact estimate: got %v,%v,%v", v, vv, err)
+	}
+
+	if _, _, err := CombineInverseVariance(nil); err != ErrNoData {
+		t.Errorf("empty combine err = %v, want ErrNoData", err)
+	}
+}
+
+// Property: the inverse-variance combination never has higher variance than
+// the best individual estimate.
+func TestCombineReducesVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(5)
+		ests := make([]WeightedEstimate, n)
+		best := math.Inf(1)
+		for i := range ests {
+			ests[i] = WeightedEstimate{Value: rng.NormFloat64() * 100, Variance: 0.1 + rng.Float64()*10}
+			if ests[i].Variance < best {
+				best = ests[i].Variance
+			}
+		}
+		_, vv, err := CombineInverseVariance(ests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vv > best+1e-12 {
+			t.Fatalf("combined variance %v exceeds best individual %v", vv, best)
+		}
+	}
+}
+
+func TestMSEDecomposition(t *testing.T) {
+	ests := []float64{9, 11, 10, 10}
+	bias2, variance, mse := MSE(ests, 8)
+	if !almostEqual(bias2, 4, 1e-12) {
+		t.Errorf("bias² = %v, want 4", bias2)
+	}
+	if !almostEqual(variance, 0.5, 1e-12) {
+		t.Errorf("variance = %v, want 0.5", variance)
+	}
+	if !almostEqual(mse, 4.5, 1e-12) {
+		t.Errorf("mse = %v, want 4.5", mse)
+	}
+}

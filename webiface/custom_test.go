@@ -1,0 +1,166 @@
+package webiface
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"github.com/dynagg/dynagg/internal/hiddendb"
+	"github.com/dynagg/dynagg/internal/schema"
+)
+
+// A site-specific adapter: the "site" speaks a completely different wire
+// format (predicates as q=attr.value pairs joined by commas, results as a
+// CSV-ish JSON), and the client bridges it with a custom RequestFunc /
+// ParseFunc pair — the mechanism a real Amazon/eBay adapter would use.
+func TestCustomWireFormat(t *testing.T) {
+	env, _ := newServer(t, 42, 4000, 25)
+	iface := hiddendb.NewIface(env.Store, 25, nil)
+
+	// The alien site.
+	alien := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/meta":
+			sch := iface.Schema()
+			out := map[string]any{"pageSize": iface.K()}
+			var attrs []map[string]any
+			for i := 0; i < sch.M(); i++ {
+				attrs = append(attrs, map[string]any{
+					"label":  sch.Attr(i).Name,
+					"values": sch.Attr(i).Domain,
+				})
+			}
+			out["fields"] = attrs
+			_ = json.NewEncoder(w).Encode(out)
+		case "/find":
+			var preds []hiddendb.Pred
+			if q := r.URL.Query().Get("q"); q != "" {
+				for _, part := range splitNonEmpty(q, ',') {
+					var a, v int
+					if _, err := fmt.Sscanf(part, "%d.%d", &a, &v); err != nil {
+						http.Error(w, "bad q", http.StatusBadRequest)
+						return
+					}
+					preds = append(preds, hiddendb.Pred{Attr: a, Val: uint16(v)})
+				}
+			}
+			res, err := iface.Search(hiddendb.NewQuery(preds...))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			out := map[string]any{"more": res.Overflow}
+			var rows [][]string
+			for _, tu := range res.Tuples {
+				row := []string{strconv.FormatUint(tu.ID, 10)}
+				for _, v := range tu.Vals {
+					row = append(row, strconv.Itoa(int(v)))
+				}
+				rows = append(rows, row)
+			}
+			out["rows"] = rows
+			_ = json.NewEncoder(w).Encode(out)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer alien.Close()
+
+	// The adapter: schema comes from elsewhere (here: we know it), the
+	// request/parse hooks translate the wire format.
+	reqFn := func(ctx context.Context, base string, q hiddendb.Query) (*http.Request, error) {
+		qs := ""
+		for i, p := range q.Preds() {
+			if i > 0 {
+				qs += ","
+			}
+			qs += fmt.Sprintf("%d.%d", p.Attr, p.Val)
+		}
+		u := base + "/find"
+		if qs != "" {
+			u += "?q=" + qs
+		}
+		return http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	}
+	parseFn := func(resp *http.Response) (hiddendb.Result, error) {
+		var raw struct {
+			More bool       `json:"more"`
+			Rows [][]string `json:"rows"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+			return hiddendb.Result{}, err
+		}
+		out := hiddendb.Result{Overflow: raw.More}
+		for _, row := range raw.Rows {
+			id, err := strconv.ParseUint(row[0], 10, 64)
+			if err != nil {
+				return hiddendb.Result{}, err
+			}
+			vals := make([]uint16, len(row)-1)
+			for i, cell := range row[1:] {
+				v, err := strconv.Atoi(cell)
+				if err != nil {
+					return hiddendb.Result{}, err
+				}
+				vals[i] = uint16(v)
+			}
+			out.Tuples = append(out.Tuples, &schema.Tuple{ID: id, Vals: vals})
+		}
+		return out, nil
+	}
+
+	// Dial needs /schema; the alien site doesn't serve it, so build the
+	// client against a local schema mirror and the custom hooks.
+	c := &Client{
+		base: alien.URL,
+		sch:  iface.Schema(),
+		k:    iface.K(),
+		http: http.DefaultClient,
+		opts: ClientOptions{Request: reqFn, Parse: parseFn, Retries: 1},
+	}
+
+	queries := []hiddendb.Query{
+		hiddendb.NewQuery(),
+		hiddendb.NewQuery(hiddendb.Pred{Attr: 0, Val: 1}),
+		hiddendb.NewQuery(hiddendb.Pred{Attr: 0, Val: 3}, hiddendb.Pred{Attr: 2, Val: 2}),
+	}
+	for _, q := range queries {
+		got, err := c.Search(q)
+		if err != nil {
+			t.Fatalf("%v: %v", q, err)
+		}
+		want, _ := iface.Search(q)
+		if got.Overflow != want.Overflow || len(got.Tuples) != len(want.Tuples) {
+			t.Fatalf("%v: got (%d,%v) want (%d,%v)",
+				q, len(got.Tuples), got.Overflow, len(want.Tuples), want.Overflow)
+		}
+		for i := range got.Tuples {
+			if got.Tuples[i].ID != want.Tuples[i].ID {
+				t.Fatalf("%v rank %d differs", q, i)
+			}
+		}
+	}
+}
+
+func splitNonEmpty(s string, sep rune) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == sep {
+			if cur != "" {
+				out = append(out, cur)
+			}
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

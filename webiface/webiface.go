@@ -1,0 +1,334 @@
+// Package webiface connects the estimators to hidden databases that live
+// on the other side of an HTTP API — the setting of the paper's live
+// experiments (Amazon Product Advertising API, eBay Finding API).
+//
+// It provides both halves:
+//
+//   - Client: a hiddendb.Searcher that translates conjunctive queries
+//     into HTTP requests, with rate limiting and bounded retries — so a
+//     dynagg.Tracker can track a remote database unchanged.
+//   - Handler: an http.Handler exposing a simulated hiddendb.Store
+//     through the same wire format, used in tests and demos.
+//
+// The wire format is deliberately tiny: a GET with the conjunctive
+// predicates encoded as repeated "where=attr:value" query parameters,
+// answered by JSON:
+//
+//	{"k":100,"overflow":true,"tuples":[{"id":7,"vals":[1,0,3],"aux":[19.5]}]}
+//
+// Real sites need a site-specific request builder and response parser;
+// both are injectable (RequestFunc / ParseFunc).
+package webiface
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/dynagg/dynagg/internal/hiddendb"
+	"github.com/dynagg/dynagg/internal/schema"
+)
+
+// wireTuple is the JSON encoding of one returned tuple.
+type wireTuple struct {
+	ID   uint64    `json:"id"`
+	Vals []uint16  `json:"vals"`
+	Aux  []float64 `json:"aux,omitempty"`
+}
+
+// wireResult is the JSON encoding of a search answer.
+type wireResult struct {
+	K        int         `json:"k"`
+	Overflow bool        `json:"overflow"`
+	Tuples   []wireTuple `json:"tuples"`
+}
+
+// wireSchema is the JSON encoding of the schema discovery endpoint.
+type wireSchema struct {
+	K     int        `json:"k"`
+	Attrs []wireAttr `json:"attrs"`
+}
+
+type wireAttr struct {
+	Name     string   `json:"name"`
+	Domain   []string `json:"domain"`
+	Nullable bool     `json:"nullable,omitempty"`
+}
+
+// Handler exposes a simulated store through the wire format. Routes:
+//
+//	GET /schema           → wireSchema
+//	GET /search?where=... → wireResult
+type Handler struct {
+	iface *hiddendb.Iface
+}
+
+// NewHandler wraps a search interface for serving.
+func NewHandler(iface *hiddendb.Iface) *Handler { return &Handler{iface: iface} }
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/schema":
+		h.serveSchema(w)
+	case "/search":
+		h.serveSearch(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (h *Handler) serveSchema(w http.ResponseWriter) {
+	sch := h.iface.Schema()
+	out := wireSchema{K: h.iface.K()}
+	for i := 0; i < sch.M(); i++ {
+		a := sch.Attr(i)
+		out.Attrs = append(out.Attrs, wireAttr{Name: a.Name, Domain: a.Domain, Nullable: a.Nullable})
+	}
+	writeJSON(w, out)
+}
+
+func (h *Handler) serveSearch(w http.ResponseWriter, r *http.Request) {
+	var preds []hiddendb.Pred
+	for _, raw := range r.URL.Query()["where"] {
+		attr, val, err := parsePred(raw)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if attr < 0 || attr >= h.iface.Schema().M() {
+			http.Error(w, fmt.Sprintf("unknown attribute %d", attr), http.StatusBadRequest)
+			return
+		}
+		preds = append(preds, hiddendb.Pred{Attr: attr, Val: val})
+	}
+	res, err := h.iface.Search(hiddendb.NewQuery(preds...))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	out := wireResult{K: h.iface.K(), Overflow: res.Overflow}
+	for _, t := range res.Tuples {
+		out.Tuples = append(out.Tuples, wireTuple{ID: t.ID, Vals: t.Vals, Aux: t.Aux})
+	}
+	writeJSON(w, out)
+}
+
+func parsePred(raw string) (int, uint16, error) {
+	parts := strings.SplitN(raw, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("webiface: bad predicate %q (want attr:value)", raw)
+	}
+	attr, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, fmt.Errorf("webiface: bad attribute in %q", raw)
+	}
+	val, err := strconv.ParseUint(parts[1], 10, 16)
+	if err != nil {
+		return 0, 0, fmt.Errorf("webiface: bad value in %q", raw)
+	}
+	return attr, uint16(val), nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// RequestFunc builds the HTTP request for a conjunctive query. The
+// default encodes the /search?where=attr:value convention.
+type RequestFunc func(ctx context.Context, base string, q hiddendb.Query) (*http.Request, error)
+
+// ParseFunc decodes an HTTP response into a search result. The default
+// decodes wireResult.
+type ParseFunc func(resp *http.Response) (hiddendb.Result, error)
+
+// ClientOptions tunes a Client.
+type ClientOptions struct {
+	// HTTPClient defaults to a client with a 30s timeout.
+	HTTPClient *http.Client
+	// MinInterval rate-limits requests (0 = no limit). Real APIs enforce
+	// per-second caps on top of daily quotas; the budget G is still the
+	// tracker's to manage.
+	MinInterval time.Duration
+	// Retries is the number of times a failed request is retried with
+	// exponential backoff (default 2).
+	Retries int
+	// Request and Parse override the wire format for site-specific APIs.
+	Request RequestFunc
+	// Parse decodes responses.
+	Parse ParseFunc
+}
+
+// Client is a hiddendb.Searcher over HTTP.
+type Client struct {
+	base   string
+	sch    *schema.Schema
+	k      int
+	http   *http.Client
+	opts   ClientOptions
+	nextAt time.Time
+}
+
+// Dial fetches the remote schema and returns a ready client.
+func Dial(base string, opts ClientOptions) (*Client, error) {
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	if opts.Retries == 0 {
+		opts.Retries = 2
+	}
+	if opts.Request == nil {
+		opts.Request = defaultRequest
+	}
+	if opts.Parse == nil {
+		opts.Parse = defaultParse
+	}
+	c := &Client{base: strings.TrimRight(base, "/"), http: opts.HTTPClient, opts: opts}
+
+	resp, err := c.http.Get(c.base + "/schema")
+	if err != nil {
+		return nil, fmt.Errorf("webiface: schema fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("webiface: schema fetch: %s", resp.Status)
+	}
+	var ws wireSchema
+	if err := json.NewDecoder(resp.Body).Decode(&ws); err != nil {
+		return nil, fmt.Errorf("webiface: schema decode: %w", err)
+	}
+	if len(ws.Attrs) == 0 || ws.K < 1 {
+		return nil, fmt.Errorf("webiface: invalid remote schema (m=%d, k=%d)", len(ws.Attrs), ws.K)
+	}
+	attrs := make([]schema.Attr, len(ws.Attrs))
+	for i, a := range ws.Attrs {
+		attrs[i] = schema.Attr{Name: a.Name, Domain: a.Domain, Nullable: a.Nullable}
+	}
+	c.sch = schema.New(attrs)
+	c.k = ws.K
+	return c, nil
+}
+
+// K returns the remote interface's result cap.
+func (c *Client) K() int { return c.k }
+
+// Schema returns the remote schema.
+func (c *Client) Schema() *schema.Schema { return c.sch }
+
+// Search issues one conjunctive query over HTTP, honouring the rate limit
+// and retrying transient failures.
+func (c *Client) Search(q hiddendb.Query) (hiddendb.Result, error) {
+	if c.opts.MinInterval > 0 {
+		if now := time.Now(); now.Before(c.nextAt) {
+			time.Sleep(c.nextAt.Sub(now))
+		}
+		c.nextAt = time.Now().Add(c.opts.MinInterval)
+	}
+	var lastErr error
+	backoff := 100 * time.Millisecond
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		req, err := c.opts.Request(context.Background(), c.base, q)
+		if err != nil {
+			return hiddendb.Result{}, err
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			lastErr = fmt.Errorf("webiface: search: %s", resp.Status)
+			if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+				return hiddendb.Result{}, lastErr // not transient
+			}
+			continue
+		}
+		res, err := c.opts.Parse(resp)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return res, nil
+	}
+	return hiddendb.Result{}, fmt.Errorf("webiface: search failed after retries: %w", lastErr)
+}
+
+var _ hiddendb.Searcher = (*Client)(nil)
+
+func defaultRequest(ctx context.Context, base string, q hiddendb.Query) (*http.Request, error) {
+	vals := url.Values{}
+	for _, p := range q.Preds() {
+		vals.Add("where", fmt.Sprintf("%d:%d", p.Attr, p.Val))
+	}
+	u := base + "/search"
+	if enc := vals.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	return http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+}
+
+func defaultParse(resp *http.Response) (hiddendb.Result, error) {
+	var wr wireResult
+	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+		return hiddendb.Result{}, fmt.Errorf("webiface: result decode: %w", err)
+	}
+	out := hiddendb.Result{Overflow: wr.Overflow}
+	for _, t := range wr.Tuples {
+		out.Tuples = append(out.Tuples, &schema.Tuple{ID: t.ID, Vals: t.Vals, Aux: t.Aux})
+	}
+	return out, nil
+}
+
+// Session wraps the client with a per-round budget, mirroring
+// hiddendb.Session for remote databases.
+type Session struct {
+	c      *Client
+	budget int
+	used   int
+}
+
+// NewSession starts a budgeted round against the remote database.
+func (c *Client) NewSession(g int) *Session { return &Session{c: c, budget: g} }
+
+// Search issues one query, consuming budget.
+func (s *Session) Search(q hiddendb.Query) (hiddendb.Result, error) {
+	if s.budget > 0 && s.used >= s.budget {
+		return hiddendb.Result{}, hiddendb.ErrBudgetExhausted
+	}
+	s.used++
+	return s.c.Search(q)
+}
+
+// K returns the remote cap.
+func (s *Session) K() int { return s.c.K() }
+
+// Schema returns the remote schema.
+func (s *Session) Schema() *schema.Schema { return s.c.Schema() }
+
+// Used returns the queries issued this round.
+func (s *Session) Used() int { return s.used }
+
+// Remaining returns the unused budget (negative when unlimited).
+func (s *Session) Remaining() int {
+	if s.budget <= 0 {
+		return -1
+	}
+	return s.budget - s.used
+}
+
+// Budget returns the round's budget G.
+func (s *Session) Budget() int { return s.budget }
+
+var _ hiddendb.Searcher = (*Session)(nil)

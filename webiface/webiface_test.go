@@ -1,0 +1,244 @@
+package webiface
+
+import (
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/dynagg/dynagg/internal/agg"
+	"github.com/dynagg/dynagg/internal/estimator"
+	"github.com/dynagg/dynagg/internal/hiddendb"
+	"github.com/dynagg/dynagg/internal/querytree"
+	"github.com/dynagg/dynagg/internal/workload"
+)
+
+// newServer builds a simulated hidden database behind an HTTP server.
+func newServer(t testing.TB, seed int64, n, k int) (*workload.Env, *httptest.Server) {
+	t.Helper()
+	data := workload.AutosLikeN(seed, n, 10)
+	env, err := workload.NewEnv(data, n*9/10, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(hiddendb.NewIface(env.Store, k, nil)))
+	t.Cleanup(srv.Close)
+	return env, srv
+}
+
+func TestDialDiscoversSchema(t *testing.T) {
+	env, srv := newServer(t, 1, 5000, 100)
+	c, err := Dial(srv.URL, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != 100 {
+		t.Errorf("K = %d", c.K())
+	}
+	if c.Schema().M() != env.Store.Schema().M() {
+		t.Errorf("schema m = %d, want %d", c.Schema().M(), env.Store.Schema().M())
+	}
+	for i := 0; i < c.Schema().M(); i++ {
+		if c.Schema().DomainSize(i) != env.Store.Schema().DomainSize(i) {
+			t.Errorf("domain size %d differs", i)
+		}
+	}
+}
+
+func TestRemoteSearchMatchesLocal(t *testing.T) {
+	env, srv := newServer(t, 2, 5000, 50)
+	c, err := Dial(srv.URL, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := hiddendb.NewIface(env.Store, 50, nil)
+
+	queries := []hiddendb.Query{
+		hiddendb.NewQuery(),
+		hiddendb.NewQuery(hiddendb.Pred{Attr: 0, Val: 1}),
+		hiddendb.NewQuery(hiddendb.Pred{Attr: 0, Val: 2}, hiddendb.Pred{Attr: 1, Val: 0}),
+		hiddendb.NewQuery(hiddendb.Pred{Attr: 3, Val: 1}),
+	}
+	for _, q := range queries {
+		remote, err := c.Search(q)
+		if err != nil {
+			t.Fatalf("remote %v: %v", q, err)
+		}
+		want, _ := local.Search(q)
+		if remote.Overflow != want.Overflow || len(remote.Tuples) != len(want.Tuples) {
+			t.Fatalf("q=%v: remote (%d,%v) vs local (%d,%v)",
+				q, len(remote.Tuples), remote.Overflow, len(want.Tuples), want.Overflow)
+		}
+		for i := range remote.Tuples {
+			if remote.Tuples[i].ID != want.Tuples[i].ID {
+				t.Fatalf("q=%v rank %d: ID %d vs %d", q, i, remote.Tuples[i].ID, want.Tuples[i].ID)
+			}
+		}
+	}
+}
+
+func TestBadPredicateRejected(t *testing.T) {
+	_, srv := newServer(t, 3, 1000, 10)
+	for _, raw := range []string{"zz", "99:1", "0:99999", "0:xx"} {
+		resp, err := http.Get(srv.URL + "/search?where=" + raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("predicate %q: status %d, want 400", raw, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown route: %d", resp.StatusCode)
+	}
+}
+
+// A full drill down over HTTP must find the same top node as locally.
+func TestDrillDownOverHTTP(t *testing.T) {
+	env, srv := newServer(t, 4, 8000, 50)
+	c, err := Dial(srv.URL, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := querytree.New(c.Schema())
+	rng := rand.New(rand.NewSource(5))
+	local := hiddendb.NewIface(env.Store, 50, nil)
+	for i := 0; i < 10; i++ {
+		sig := tree.RandomSignature(rng)
+		remote, err := querytree.DrillFromRoot(c, tree, sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := querytree.DrillFromRoot(local.AsSearcher(), tree, sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if remote.Depth != want.Depth || len(remote.Result.Tuples) != len(want.Result.Tuples) {
+			t.Fatalf("drill differs: depth %d vs %d", remote.Depth, want.Depth)
+		}
+	}
+}
+
+// End to end: a REISSUE estimator tracking a remote database through
+// budgeted HTTP sessions.
+func TestEstimatorOverHTTP(t *testing.T) {
+	env, srv := newServer(t, 6, 10000, 100)
+	c, err := Dial(srv.URL, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := estimator.Config{Rand: rand.New(rand.NewSource(7))}
+	e, err := estimator.NewReissue(c.Schema(), []*agg.Aggregate{agg.CountAll()}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 1; round <= 3; round++ {
+		if round > 1 {
+			if err := env.InsertFromPool(100); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sess := c.NewSession(300)
+		if err := e.Step(sess); err != nil {
+			t.Fatal(err)
+		}
+		if sess.Used() > 300 {
+			t.Fatalf("session used %d > 300", sess.Used())
+		}
+		est, ok := e.Estimate(0)
+		if !ok {
+			t.Fatal("no estimate")
+		}
+		truth := float64(env.Store.Size())
+		if rel := math.Abs(est.Value-truth) / truth; rel > 0.6 {
+			t.Errorf("round %d: rel err %.2f", round, rel)
+		}
+	}
+}
+
+func TestClientRetriesTransientErrors(t *testing.T) {
+	env, _ := newServer(t, 8, 1000, 10)
+	iface := hiddendb.NewIface(env.Store, 10, nil)
+	inner := NewHandler(iface)
+	var calls int32
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/search" && atomic.AddInt32(&calls, 1)%3 == 1 {
+			http.Error(w, "temporarily unavailable", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+
+	c, err := Dial(flaky.URL, ClientOptions{Retries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := c.Search(hiddendb.NewQuery()); err != nil {
+			t.Fatalf("query %d failed despite retries: %v", i, err)
+		}
+	}
+}
+
+func TestClientDoesNotRetryClientErrors(t *testing.T) {
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/schema" {
+			_, _ = w.Write([]byte(`{"k":10,"attrs":[{"name":"a","domain":["x","y"]}]}`))
+			return
+		}
+		atomic.AddInt32(&calls, 1)
+		http.Error(w, "bad request", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	c, err := Dial(srv.URL, ClientOptions{Retries: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Search(hiddendb.NewQuery()); err == nil {
+		t.Fatal("4xx answer should fail")
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Errorf("client retried a 4xx %d times", got)
+	}
+}
+
+func TestRateLimiting(t *testing.T) {
+	_, srv := newServer(t, 10, 500, 10)
+	c, err := Dial(srv.URL, ClientOptions{MinInterval: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		if _, err := c.Search(hiddendb.NewQuery()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Errorf("4 rate-limited queries took only %v", elapsed)
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := Dial("http://127.0.0.1:1", ClientOptions{HTTPClient: &http.Client{Timeout: 200 * time.Millisecond}}); err == nil {
+		t.Error("unreachable host accepted")
+	}
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`{"k":0,"attrs":[]}`))
+	}))
+	defer bad.Close()
+	if _, err := Dial(bad.URL, ClientOptions{}); err == nil {
+		t.Error("invalid remote schema accepted")
+	}
+}
