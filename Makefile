@@ -1,0 +1,40 @@
+# Make targets mirror the CI jobs (.github/workflows/ci.yml) so humans
+# and CI run exactly the same commands.
+
+GO ?= go
+
+.PHONY: build test race bench bench-smoke fmt fmt-check vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt rewrites; fmt-check (CI) fails on any file gofmt would change.
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# race exercises the parallel trial engine and the single-goroutine
+# ownership contract of hiddendb under the race detector.
+race:
+	$(GO) test -race ./internal/experiments/ ./internal/hiddendb/
+
+# bench regenerates every figure and reports the headline metrics.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# bench-smoke runs every benchmark exactly once so bench_test.go cannot
+# silently rot (no timing value, compile+run coverage only).
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+ci: build test vet fmt-check race bench-smoke

@@ -9,8 +9,10 @@
 package dynagg_test
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	dynagg "github.com/dynagg/dynagg"
@@ -19,6 +21,7 @@ import (
 	"github.com/dynagg/dynagg/internal/experiments"
 	"github.com/dynagg/dynagg/internal/hiddendb"
 	"github.com/dynagg/dynagg/internal/querytree"
+	"github.com/dynagg/dynagg/internal/schema"
 	"github.com/dynagg/dynagg/internal/workload"
 )
 
@@ -224,6 +227,40 @@ func BenchmarkAblationCrawl(b *testing.B) {
 		crawlCost = float64(res.Cost)
 	}
 	b.ReportMetric(crawlCost, "crawl_queries")
+}
+
+// ---------------------------------------------------------------------
+// Parallel trial engine
+// ---------------------------------------------------------------------
+
+// BenchmarkRunTrackingWorkers measures the wall-clock scaling of the
+// parallel trial engine: the same 8-trial tracking run with 1 worker
+// and with one worker per core. The figures are byte-identical across
+// worker counts (the engine aggregates by trial index); only wall-clock
+// time changes, so the sub-benchmark ratio IS the speedup.
+func BenchmarkRunTrackingWorkers(b *testing.B) {
+	spec := experiments.TrackSpec{
+		Dataset:  func(seed int64) *workload.Dataset { return workload.AutosLikeN(seed, 8000, 10) },
+		Initial:  7000,
+		Schedule: workload.PoolChurn(100, 0.005),
+		K:        100, G: 200, Rounds: 6,
+		Aggs: func(*schema.Schema) []*agg.Aggregate { return []*agg.Aggregate{agg.CountAll()} },
+	}
+	const trials = 8
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opt := experiments.Options{Seed: 1, Workers: w}
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunTracking(spec, opt, trials); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // ---------------------------------------------------------------------

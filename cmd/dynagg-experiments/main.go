@@ -33,6 +33,7 @@ func main() {
 		trials    = flag.Int("trials", 0, "trials to average over (0 = figure default)")
 		fullScale = flag.Bool("full", false, "use the paper's full-scale parameters")
 		csvDir    = flag.String("csv", "", "also write <dir>/<fig>.csv for plotting")
+		workers   = flag.Int("workers", 0, "concurrent trial workers (0 = DYNAGG_WORKERS env or one per core); output is identical for every value")
 	)
 	flag.Parse()
 	writeCSV = *csvDir
@@ -42,6 +43,9 @@ func main() {
 	opt.Trials = *trials
 	if *fullScale {
 		opt.FullScale = true
+	}
+	if *workers > 0 {
+		opt.Workers = *workers
 	}
 
 	switch {

@@ -15,26 +15,32 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"runtime"
 	"strings"
+	"sync"
 
 	dynagg "github.com/dynagg/dynagg"
 )
 
 func main() {
 	var (
-		n      = flag.Int("n", 40000, "dataset size (tuple pool)")
-		init0  = flag.Int("initial", 0, "initial database size (default 90% of n)")
-		m      = flag.Int("m", 38, "number of attributes (<=38)")
-		k      = flag.Int("k", 250, "interface top-k cap")
-		g      = flag.Int("g", 500, "query budget per round")
-		rounds = flag.Int("rounds", 25, "rounds to simulate")
-		insert = flag.Int("insert", 300, "tuples inserted per round")
-		del    = flag.Float64("delete", 0.001, "fraction of tuples deleted per round")
-		seed   = flag.Int64("seed", 1, "random seed")
-		algoF  = flag.String("algo", "ALL", "RESTART, REISSUE, RS, or ALL")
-		aggF   = flag.String("agg", "count", "aggregate: count, sumprice, avgprice, delta")
+		n       = flag.Int("n", 40000, "dataset size (tuple pool)")
+		init0   = flag.Int("initial", 0, "initial database size (default 90% of n)")
+		m       = flag.Int("m", 38, "number of attributes (<=38)")
+		k       = flag.Int("k", 250, "interface top-k cap")
+		g       = flag.Int("g", 500, "query budget per round")
+		rounds  = flag.Int("rounds", 25, "rounds to simulate")
+		insert  = flag.Int("insert", 300, "tuples inserted per round")
+		del     = flag.Float64("delete", 0.001, "fraction of tuples deleted per round")
+		seed    = flag.Int64("seed", 1, "random seed")
+		algoF   = flag.String("algo", "ALL", "RESTART, REISSUE, RS, or ALL")
+		aggF    = flag.String("agg", "count", "aggregate: count, sumprice, avgprice, delta")
+		workers = flag.Int("workers", 0, "concurrent per-algorithm workers each round (0 = one per core); output is identical for every value")
 	)
 	flag.Parse()
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
 	if *init0 == 0 {
 		*init0 = *n * 9 / 10
 	}
@@ -91,33 +97,56 @@ func main() {
 	}
 	fmt.Println(head)
 
+	// Each runner owns its entire mutable world (dataset, env, store,
+	// tracker), so the per-round schedule+step of different algorithms can
+	// run concurrently; only the row formatting below needs their results.
+	type stepOut struct {
+		est dynagg.Estimate
+		ok  bool
+		err error
+	}
+	sem := make(chan struct{}, *workers)
 	prevTruth := math.NaN()
 	for round := 1; round <= *rounds; round++ {
 		var truth float64
-		row := ""
+		outs := make([]stepOut, len(runners))
+		var wg sync.WaitGroup
 		for i, r := range runners {
-			if round > 1 {
-				if err := r.env.DeleteFraction(*del); err != nil {
-					log.Fatal(err)
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, r *runner) {
+				defer func() { <-sem; wg.Done() }()
+				if round > 1 {
+					if err := r.env.DeleteFraction(*del); err != nil {
+						outs[i].err = err
+						return
+					}
+					if err := r.env.InsertFromPool(*insert); err != nil {
+						outs[i].err = err
+						return
+					}
 				}
-				if err := r.env.InsertFromPool(*insert); err != nil {
-					log.Fatal(err)
+				if i == 0 {
+					truth = r.spec.Truth(r.env.Store)
 				}
+				if err := r.track.Step(); err != nil {
+					outs[i].err = err
+					return
+				}
+				if delta {
+					outs[i].est, outs[i].ok = r.track.Delta(0)
+				} else {
+					outs[i].est, outs[i].ok = r.track.Estimate(0)
+				}
+			}(i, r)
+		}
+		wg.Wait()
+		row := ""
+		for i := range runners {
+			if outs[i].err != nil {
+				log.Fatal(outs[i].err)
 			}
-			if i == 0 {
-				truth = r.spec.Truth(r.env.Store)
-			}
-			if err := r.track.Step(); err != nil {
-				log.Fatal(err)
-			}
-			var est dynagg.Estimate
-			var ok bool
-			if delta {
-				est, ok = r.track.Delta(0)
-			} else {
-				est, ok = r.track.Estimate(0)
-			}
-			if !ok {
+			if !outs[i].ok {
 				row += fmt.Sprintf(" | %12s", "-")
 				continue
 			}
@@ -125,8 +154,8 @@ func main() {
 			if delta {
 				target = truth - prevTruth
 			}
-			rel := math.Abs(est.Value-target) / math.Max(1e-9, math.Abs(target))
-			row += fmt.Sprintf(" | %12.1f %4.0f%%", est.Value, 100*rel)
+			rel := math.Abs(outs[i].est.Value-target) / math.Max(1e-9, math.Abs(target))
+			row += fmt.Sprintf(" | %12.1f %4.0f%%", outs[i].est.Value, 100*rel)
 		}
 		target := truth
 		if delta {

@@ -45,6 +45,23 @@
 // equally drive a client for a real web API: implement Searcher with HTTP
 // calls and the same algorithms apply unchanged.
 //
+// # Concurrency
+//
+// The paper's query model is inherently sequential — one budget of G
+// queries per round against one evolving database — so every mutable
+// component (Store, Iface, Session, Env, Dataset, Tracker, the
+// estimators, and every rand.Rand) is single-goroutine: owned by the
+// goroutine that created it, with no internal locking. The unit of
+// parallelism is one independent Monte-Carlo TRIAL: the experiment
+// harness (internal/experiments) runs each trial on its own worker
+// goroutine with a fully isolated environment derived deterministically
+// from seed+trialIndex, and aggregates results by trial index, so a
+// parallel run is byte-identical to a sequential one with the same seed
+// (Options.Workers, default one per core). Immutable-after-construction
+// values — schema.Schema, querytree.Tree — are the only state shared
+// across trials. The contract is enforced by a race-detector CI job
+// (make race).
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record of every reproduced figure.
 package dynagg

@@ -1,0 +1,3 @@
+module github.com/dynagg/dynagg
+
+go 1.22

@@ -36,21 +36,24 @@ func Fig4(opt Options) (*Figure, error) {
 		{"RS (Intra-Round)", true, RS},
 	}
 
-	acc := make(map[string][]stats.Running)
-	for _, m := range modes {
-		acc[m.label] = make([]stats.Running, hours)
+	// One trial's relative-error observations: per mode, per hour
+	// (ok=false where the estimator had no estimate yet).
+	type obs struct {
+		rel float64
+		ok  bool
 	}
-
-	for trial := 0; trial < trials; trial++ {
-		dataSeed := opt.Seed + int64(trial)*1000
+	runTrial := func(trial int) (map[string][]obs, error) {
+		out := make(map[string][]obs, len(modes))
+		dataSeed := trialSeed(opt.Seed, trial)
 		data := p.dataset()(dataSeed)
 		for _, m := range modes {
-			env, err := workload.NewEnv(data, p.initial, dataSeed+1)
+			series := make([]obs, hours)
+			env, err := workload.NewEnv(data, p.initial, dataSeed+envSeedOffset)
 			if err != nil {
 				return nil, err
 			}
 			iface := hiddendb.NewIface(env.Store, p.k, nil)
-			cfg := estimator.Config{Rand: rand.New(rand.NewSource(dataSeed + 7))}
+			cfg := estimator.Config{Rand: rand.New(rand.NewSource(dataSeed + rngSeedOffset))}
 			est, err := newEstimator(m.algo, env.Store.Schema(), countAggs(env.Store.Schema()), cfg, nil)
 			if err != nil {
 				return nil, err
@@ -91,8 +94,27 @@ func Fig4(opt Options) (*Figure, error) {
 				}
 				truth := float64(env.Store.Size())
 				if e, ok := est.Estimate(0); ok {
-					r := &acc[m.label][hour-1]
-					r.Add(stats.RelativeError(e.Value, truth))
+					series[hour-1] = obs{rel: stats.RelativeError(e.Value, truth), ok: true}
+				}
+			}
+			out[m.label] = series
+		}
+		return out, nil
+	}
+
+	outs, err := runTrials(trials, opt.workers(), runTrial)
+	if err != nil {
+		return nil, err
+	}
+	acc := make(map[string][]stats.Running)
+	for _, m := range modes {
+		acc[m.label] = make([]stats.Running, hours)
+	}
+	for _, tr := range outs {
+		for _, m := range modes {
+			for hour := 0; hour < hours; hour++ {
+				if o := tr[m.label][hour]; o.ok {
+					acc[m.label][hour].Add(o.rel)
 				}
 			}
 		}

@@ -17,6 +17,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -52,11 +53,22 @@ type Options struct {
 	Trials int
 	// FullScale switches to the paper's dataset sizes and round counts.
 	FullScale bool
+	// Workers bounds how many trials run concurrently, each on its own
+	// goroutine with a fully isolated environment (0 = GOMAXPROCS).
+	// Results are aggregated by trial index, so every figure is
+	// byte-identical across Workers values for the same Seed.
+	Workers int
 }
 
-// DefaultOptions reads DYNAGG_FULL_SCALE from the environment.
+// DefaultOptions reads DYNAGG_FULL_SCALE and DYNAGG_WORKERS from the
+// environment.
 func DefaultOptions() Options {
-	return Options{Seed: 1, FullScale: os.Getenv("DYNAGG_FULL_SCALE") == "1"}
+	workers, _ := strconv.Atoi(os.Getenv("DYNAGG_WORKERS"))
+	return Options{
+		Seed:      1,
+		FullScale: os.Getenv("DYNAGG_FULL_SCALE") == "1",
+		Workers:   workers,
+	}
 }
 
 func (o Options) trials(def int) int {
@@ -64,6 +76,14 @@ func (o Options) trials(def int) int {
 		return o.Trials
 	}
 	return def
+}
+
+// workers resolves the worker-pool size (0 = one per available core).
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Figure is one reproduced table/plot.
@@ -274,11 +294,153 @@ func newEstimator(a Algo, sch *schema.Schema, aggs []*agg.Aggregate, cfg estimat
 	}
 }
 
+// trackCell is what one trial contributes to one (algorithm, round)
+// aggregate cell.
+type trackCell struct {
+	queries, drills float64
+	est, rel        float64
+	estOK           bool
+}
+
+// trackTrial is the complete outcome of one trial, produced on the
+// trial's worker goroutine and merged by RunTracking in trial order.
+type trackTrial struct {
+	truth   []float64 // per-round target; valid where truthOK
+	truthOK []bool
+	cells   map[Algo][]trackCell
+}
+
+// runTrackingTrial executes one fully isolated trial: its own dataset,
+// one fresh environment and estimator per algorithm, and RNGs derived
+// from trialSeed(opt.Seed, trial). It never touches shared mutable
+// state, so any number of trials may run concurrently.
+func runTrackingTrial(spec TrackSpec, opt Options, trial int) (*trackTrial, error) {
+	out := &trackTrial{
+		truth:   make([]float64, spec.Rounds),
+		truthOK: make([]bool, spec.Rounds),
+		cells:   make(map[Algo][]trackCell, len(spec.algos())),
+	}
+	dataSeed := trialSeed(opt.Seed, trial)
+	data := spec.Dataset(dataSeed)
+	for _, a := range spec.algos() {
+		cells := make([]trackCell, spec.Rounds)
+		env, err := workload.NewEnv(data, spec.Initial, dataSeed+envSeedOffset)
+		if err != nil {
+			return nil, err
+		}
+		iface := hiddendb.NewIface(env.Store, spec.K, nil)
+		cfg := estimator.Config{
+			Rand:  rand.New(rand.NewSource(dataSeed + rngSeedOffset)),
+			Pilot: spec.Pilot,
+		}
+		est, err := newEstimator(a, env.Store.Schema(), spec.Aggs(env.Store.Schema()), cfg, spec.RSOpts)
+		if err != nil {
+			return nil, err
+		}
+		cumQ, cumD := 0.0, 0.0
+		prevTruth := math.NaN()
+		var truthHist, estHist []float64
+		for round := 1; round <= spec.Rounds; round++ {
+			if round > 1 {
+				if err := spec.Schedule(round, env); err != nil {
+					return nil, err
+				}
+			}
+			truth := est.Aggregates()[0].Truth(env.Store)
+			truthHist = append(truthHist, truth)
+			target := truth
+			switch {
+			case spec.Delta:
+				target = truth - prevTruth
+			case spec.Window > 0:
+				target = tailMean(truthHist, spec.Window)
+			}
+			if err := est.Step(iface.NewSession(spec.G)); err != nil {
+				return nil, err
+			}
+			cumQ += float64(est.UsedLastRound())
+			cumD = float64(est.DrillDowns())
+
+			c := &cells[round-1]
+			c.queries = cumQ
+			c.drills = cumD
+			ready := (!spec.Delta || round > 1) && (spec.Window == 0 || round >= spec.Window)
+			if a == spec.algos()[0] && ready {
+				out.truth[round-1] = target
+				out.truthOK[round-1] = true
+			}
+			var e estimator.Estimate
+			var ok bool
+			if spec.Delta {
+				e, ok = est.EstimateDelta(0)
+			} else {
+				e, ok = est.Estimate(0)
+			}
+			value := e.Value
+			if ok && spec.Window > 0 {
+				estHist = append(estHist, e.Value)
+				if len(estHist) >= spec.Window {
+					value = tailMean(estHist, spec.Window)
+				} else {
+					ok = false
+				}
+			}
+			if ok && ready {
+				c.est = value
+				c.rel = stats.RelativeError(value, target)
+				c.estOK = true
+			}
+			prevTruth = truth
+		}
+		out.cells[a] = cells
+	}
+	return out, nil
+}
+
 // RunTracking executes the spec for every algorithm and trial. Every
 // algorithm sees an identical database evolution (same dataset and
 // environment seeds per trial), mirroring the paper's setup where all
 // methods query the same live database.
+//
+// Trials run concurrently on opt.workers() goroutines, each with a fully
+// isolated environment. Per-trial outcomes are merged in trial-index
+// order — every accumulator receives exactly one observation per trial,
+// in the same order a sequential run adds them — so the result is
+// byte-identical for every Workers value.
 func RunTracking(spec TrackSpec, opt Options, trials int) (*TrackResult, error) {
+	outs, err := runTrials(trials, opt.workers(), func(trial int) (*trackTrial, error) {
+		return runTrackingTrial(spec, opt, trial)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	type cell struct{ rel, est, queries, drills stats.Running }
+	table := make(map[Algo][]cell)
+	for _, a := range spec.algos() {
+		table[a] = make([]cell, spec.Rounds)
+	}
+	truthAcc := make([]stats.Running, spec.Rounds)
+	for _, tr := range outs {
+		for round := 0; round < spec.Rounds; round++ {
+			if tr.truthOK[round] {
+				truthAcc[round].Add(tr.truth[round])
+			}
+		}
+		for _, a := range spec.algos() {
+			for round := 0; round < spec.Rounds; round++ {
+				c := &table[a][round]
+				tc := tr.cells[a][round]
+				c.queries.Add(tc.queries)
+				c.drills.Add(tc.drills)
+				if tc.estOK {
+					c.est.Add(tc.est)
+					c.rel.Add(tc.rel)
+				}
+			}
+		}
+	}
+
 	res := &TrackResult{
 		Rounds:     spec.Rounds,
 		RelErr:     map[Algo][]float64{},
@@ -287,86 +449,6 @@ func RunTracking(spec TrackSpec, opt Options, trials int) (*TrackResult, error) 
 		CumQueries: map[Algo][]float64{},
 		CumDrills:  map[Algo][]float64{},
 	}
-	type cell struct{ rel, est, queries, drills stats.Running }
-	table := make(map[Algo][]cell)
-	for _, a := range spec.algos() {
-		table[a] = make([]cell, spec.Rounds)
-	}
-	truthAcc := make([]stats.Running, spec.Rounds)
-
-	for trial := 0; trial < trials; trial++ {
-		dataSeed := opt.Seed + int64(trial)*1000
-		data := spec.Dataset(dataSeed)
-		for _, a := range spec.algos() {
-			env, err := workload.NewEnv(data, spec.Initial, dataSeed+1)
-			if err != nil {
-				return nil, err
-			}
-			iface := hiddendb.NewIface(env.Store, spec.K, nil)
-			cfg := estimator.Config{
-				Rand:  rand.New(rand.NewSource(dataSeed + 7)),
-				Pilot: spec.Pilot,
-			}
-			est, err := newEstimator(a, env.Store.Schema(), spec.Aggs(env.Store.Schema()), cfg, spec.RSOpts)
-			if err != nil {
-				return nil, err
-			}
-			cumQ, cumD := 0.0, 0.0
-			prevTruth := math.NaN()
-			var truthHist, estHist []float64
-			for round := 1; round <= spec.Rounds; round++ {
-				if round > 1 {
-					if err := spec.Schedule(round, env); err != nil {
-						return nil, err
-					}
-				}
-				truth := est.Aggregates()[0].Truth(env.Store)
-				truthHist = append(truthHist, truth)
-				target := truth
-				switch {
-				case spec.Delta:
-					target = truth - prevTruth
-				case spec.Window > 0:
-					target = tailMean(truthHist, spec.Window)
-				}
-				if err := est.Step(iface.NewSession(spec.G)); err != nil {
-					return nil, err
-				}
-				cumQ += float64(est.UsedLastRound())
-				cumD = float64(est.DrillDowns())
-
-				c := &table[a][round-1]
-				c.queries.Add(cumQ)
-				c.drills.Add(cumD)
-				ready := (!spec.Delta || round > 1) && (spec.Window == 0 || round >= spec.Window)
-				if a == spec.algos()[0] && ready {
-					truthAcc[round-1].Add(target)
-				}
-				var e estimator.Estimate
-				var ok bool
-				if spec.Delta {
-					e, ok = est.EstimateDelta(0)
-				} else {
-					e, ok = est.Estimate(0)
-				}
-				value := e.Value
-				if ok && spec.Window > 0 {
-					estHist = append(estHist, e.Value)
-					if len(estHist) >= spec.Window {
-						value = tailMean(estHist, spec.Window)
-					} else {
-						ok = false
-					}
-				}
-				if ok && ready {
-					c.est.Add(value)
-					c.rel.Add(stats.RelativeError(value, target))
-				}
-				prevTruth = truth
-			}
-		}
-	}
-
 	for round := 0; round < spec.Rounds; round++ {
 		res.Truth = append(res.Truth, truthAcc[round].Mean())
 	}

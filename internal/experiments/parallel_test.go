@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunTrialsOrderedResults(t *testing.T) {
+	const n, workers = 64, 8
+	var inFlight, peak atomic.Int64
+	results, err := runTrials(n, workers, func(trial int) (int, error) {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		return trial * 10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for i, r := range results {
+		if r != i*10 {
+			t.Fatalf("results[%d] = %d: not ordered by trial index", i, r)
+		}
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent trials, pool bound is %d", p, workers)
+	}
+}
+
+func TestRunTrialsSequentialFallback(t *testing.T) {
+	var order []int
+	_, err := runTrials(5, 1, func(trial int) (struct{}, error) {
+		order = append(order, trial) // safe: workers=1 runs on the caller goroutine
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3, 4}) {
+		t.Errorf("sequential order = %v", order)
+	}
+}
+
+func TestRunTrialsErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	_, err := runTrials(100, 4, func(trial int) (int, error) {
+		ran.Add(1)
+		if trial == 5 {
+			return 0, boom
+		}
+		// Slow the healthy trials so the failure lands before the pool
+		// could possibly drain all 100.
+		time.Sleep(time.Millisecond)
+		return trial, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// The pool must stop claiming trials after the failure, not run all 100.
+	if n := ran.Load(); n == 100 {
+		t.Errorf("all %d trials ran despite an early error", n)
+	}
+}
+
+// TestRunTrackingWorkersDeterminism is the acceptance check of the
+// parallel engine: the same spec and seed must produce an identical
+// TrackResult — every series, bit for bit — regardless of worker count.
+func TestRunTrackingWorkersDeterminism(t *testing.T) {
+	spec := tinySpec()
+	seq, err := RunTracking(spec, Options{Seed: 11, Workers: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunTracking(spec, Options{Seed: 11, Workers: 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("Workers:1 and Workers:4 results differ:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestFig4WorkersDeterminism covers the second trial loop (the
+// intra-round runner of fig4), which has its own parallel fan-out.
+func TestFig4WorkersDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig4 takes seconds per trial")
+	}
+	seq, err := Fig4(Options{Seed: 3, Trials: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig4(Options{Seed: 3, Trials: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("fig4 differs between Workers:1 and Workers:2")
+	}
+}
+
+// TestTrialSeedStreamsDisjoint asserts the per-trial RNG streams never
+// overlap: across every trial's dataset/env/estimator source, no window
+// of consecutive outputs appears in two different streams.
+func TestTrialSeedStreamsDisjoint(t *testing.T) {
+	const (
+		trials    = 8
+		perStream = 256
+		window    = 4
+	)
+	seeds := map[int64]string{}
+	addSeed := func(s int64, who string) {
+		if prev, dup := seeds[s]; dup {
+			t.Fatalf("seed %d used by both %s and %s", s, prev, who)
+		}
+		seeds[s] = who
+	}
+	type win [window]uint64
+	windows := map[win]string{}
+	for trial := 0; trial < trials; trial++ {
+		base := trialSeed(1, trial)
+		for _, off := range []struct {
+			delta int64
+			name  string
+		}{{0, "dataset"}, {envSeedOffset, "env"}, {rngSeedOffset, "estimator"}} {
+			who := string(rune('0'+trial)) + "/" + off.name
+			addSeed(base+off.delta, who)
+			rng := rand.New(rand.NewSource(base + off.delta))
+			vals := make([]uint64, perStream)
+			for i := range vals {
+				vals[i] = rng.Uint64()
+			}
+			for i := 0; i+window <= perStream; i++ {
+				var w win
+				copy(w[:], vals[i:i+window])
+				if prev, dup := windows[w]; dup && prev != who {
+					t.Fatalf("streams %s and %s share the window at offset %d", prev, who, i)
+				}
+				windows[w] = who
+			}
+		}
+	}
+}
+
+// TestRunTrialsIsolation runs concurrent trials that each hammer their
+// own RNG and map; under -race this catches any accidental sharing in
+// the pool machinery itself.
+func TestRunTrialsIsolation(t *testing.T) {
+	var mu sync.Mutex
+	sums := make(map[int]uint64)
+	_, err := runTrials(16, 8, func(trial int) (struct{}, error) {
+		rng := rand.New(rand.NewSource(trialSeed(42, trial)))
+		own := make(map[int]uint64)
+		var s uint64
+		for i := 0; i < 1000; i++ {
+			s += rng.Uint64() >> 40
+			own[i&7] = s
+		}
+		mu.Lock()
+		sums[trial] = s
+		mu.Unlock()
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 16 {
+		t.Fatalf("got %d trial sums", len(sums))
+	}
+}

@@ -45,6 +45,11 @@ func splitmix64(x uint64) uint64 {
 // simulator-side speedup (the same query re-issued within a round returns
 // the same answer anyway, since the round-update model freezes the data)
 // and never affects query-cost accounting, which is done by Session.
+//
+// Ownership: like the Store it wraps, an Iface (and every Session it
+// hands out) is single-goroutine — the answer cache and lifetime query
+// counter are unsynchronised. Each trial builds its own Iface over its
+// own Store; nothing here may be shared across trial goroutines.
 type Iface struct {
 	st      *Store
 	k       int

@@ -13,9 +13,15 @@ import (
 // ranges found by binary search.
 //
 // Only the simulation harness holds a *Store; estimators see it through
-// Iface/Session. All methods are single-goroutine: the simulation is a
-// deterministic sequential process (one core, seeded RNGs), and the paper's
-// query model is inherently sequential (a budget of G queries per round).
+// Iface/Session.
+//
+// Ownership: a Store is single-goroutine, sync-free by design. The paper's
+// query model is inherently sequential (a budget of G queries per round
+// against one evolving database), so each Store belongs to exactly one
+// trial and is touched only by that trial's worker goroutine. Parallelism
+// across trials comes from the experiment harness giving every trial its
+// own Store (see internal/experiments/parallel.go); never share one
+// across goroutines.
 type Store struct {
 	sch            *schema.Schema
 	tuples         []*schema.Tuple // sorted by (Vals, ID)

@@ -37,7 +37,8 @@ var ErrLeafOverflow = errors.New("querytree: fully-specified leaf query overflow
 // Tree is a query tree over a schema, optionally rooted under fixed
 // selection predicates (paper §3.3: aggregates with selection conditions
 // drill down the subtree whose every node contains the selection
-// predicate).
+// predicate). A Tree is immutable after construction and therefore safe
+// to share across goroutines; drill state lives in the callers.
 type Tree struct {
 	sch   *schema.Schema
 	order []int          // drill attributes, tree level i ↦ order[i]

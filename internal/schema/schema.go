@@ -35,7 +35,10 @@ type Attr struct {
 // Size returns the domain size |Ui| (excluding NULL).
 func (a *Attr) Size() int { return len(a.Domain) }
 
-// Schema is an ordered list of attributes.
+// Schema is an ordered list of attributes. It is immutable after
+// construction (New copies its input), so one Schema may be shared
+// freely across goroutines — it is the read-only backbone every
+// concurrently-running trial drills against.
 type Schema struct {
 	attrs []Attr
 }

@@ -28,6 +28,11 @@ import (
 // Dataset is a generated universe of distinct tuples plus a generator for
 // fresh tuples beyond the pool (schedules that insert more tuples than the
 // pool holds synthesise new distinct ones on demand).
+//
+// Ownership: a Dataset is single-goroutine — fresh-tuple generation
+// mutates the internal key set — so every concurrently-running trial must
+// build its own (the harness derives one per trial from seed+trialIndex).
+// The Schema it references is immutable and safely shared.
 type Dataset struct {
 	// Schema of every tuple.
 	Schema *schema.Schema
@@ -211,6 +216,9 @@ func (d *Dataset) fresh(rng *rand.Rand) *schema.Tuple {
 // currently inside the database, so schedules can insert "random tuples
 // not currently in the database" and return deleted tuples to the pool —
 // the paper's default Yahoo! Autos insertion/deletion model.
+//
+// Ownership: single-goroutine, like the Store and Dataset it drives; one
+// Env belongs to one trial's worker goroutine.
 type Env struct {
 	Data  *Dataset
 	Store *hiddendb.Store
