@@ -13,6 +13,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"sync"
 	"testing"
 
 	dynagg "github.com/dynagg/dynagg"
@@ -259,6 +260,63 @@ func BenchmarkRunTrackingWorkers(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Concurrent serving layer
+// ---------------------------------------------------------------------
+
+// BenchmarkServingConcurrent measures read throughput of ONE Iface shared
+// by w client goroutines (one Session each), over a frozen round — the
+// webiface serving pattern. The op count is fixed, so ns/op should fall
+// near-linearly with w on a multi-core runner (the dev box may be
+// 1-core; the CI artifact records the scaling).
+func BenchmarkServingConcurrent(b *testing.B) {
+	data := workload.AutosLikeN(1, 60000, 12)
+	env, err := workload.NewEnv(data, 54000, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	iface := hiddendb.NewIface(env.Store, 100, nil)
+	// A mixed workload: prefix drills, non-prefix point queries (served
+	// by posting lists), and two-predicate conjunctions.
+	var queries []dynagg.Query
+	for v := 0; v < 8; v++ {
+		queries = append(queries,
+			hiddendb.NewQuery(hiddendb.Pred{Attr: 0, Val: uint16(v % 4)}, hiddendb.Pred{Attr: 1, Val: uint16(v % 3)}),
+			hiddendb.NewQuery(hiddendb.Pred{Attr: 9, Val: uint16(v % 3)}),
+			hiddendb.NewQuery(hiddendb.Pred{Attr: 4, Val: uint16(v % 3)}, hiddendb.Pred{Attr: 8, Val: uint16(v % 2)}),
+		)
+	}
+	// Warm the snapshot and posting lists once so every sub-benchmark
+	// measures steady-state serving.
+	for _, q := range queries {
+		if _, err := iface.Search(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	workerCounts := []int{1, 2, 4, 8}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("clients=%d", w), func(b *testing.B) {
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := b.N / w
+			for g := 0; g < w; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					s := iface.NewSession(0) // sessions are per-goroutine
+					for i := 0; i < per; i++ {
+						if _, err := s.Search(queries[(g+i)%len(queries)]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
 		})
 	}
 }

@@ -1,0 +1,78 @@
+// Command dynagg-serve exposes a simulated dynamic hidden database over
+// HTTP: a synthetic store behind the restrictive top-k interface, served
+// concurrently to any number of clients through the webiface wire format,
+// with optional per-API-key query budgets and round-by-round churn.
+//
+// It is the serving half of the paper's live-experiment setting: point
+// estimators (dynagg.NewRemoteTracker, examples/remote) at it, or load
+// test it — reads are answered from immutable snapshots, so the churn
+// goroutine never blocks a client.
+//
+// Usage examples:
+//
+//	dynagg-serve                                  # 40k tuples on :8080
+//	dynagg-serve -addr :9090 -n 200000 -k 1000
+//	dynagg-serve -budget 500 -round 10s           # G=500 per key per round
+//	dynagg-serve -round 5s -insert 300 -delete 0.001
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	dynagg "github.com/dynagg/dynagg"
+	"github.com/dynagg/dynagg/webiface"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8080", "listen address")
+		n      = flag.Int("n", 40000, "dataset size (tuple pool)")
+		init0  = flag.Int("initial", 0, "initial database size (default 90% of n)")
+		m      = flag.Int("m", 38, "number of attributes (<=38)")
+		k      = flag.Int("k", 250, "interface top-k cap")
+		seed   = flag.Int64("seed", 1, "random seed")
+		budget = flag.Int("budget", 0, "per-API-key queries per round (0 = unlimited)")
+		round  = flag.Duration("round", 0, "round length; every round applies churn and resets budgets (0 = static database)")
+		insert = flag.Int("insert", 300, "tuples inserted per round")
+		del    = flag.Float64("delete", 0.001, "fraction of tuples deleted per round")
+	)
+	flag.Parse()
+	if *init0 == 0 {
+		*init0 = *n * 9 / 10
+	}
+
+	data := dynagg.AutosLikeN(*seed, *n, *m)
+	env, err := dynagg.NewEnv(data, *init0, *seed+1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	iface := dynagg.NewIface(env.Store, *k, nil)
+	h := webiface.NewHandler(iface)
+	h.SetPerKeyBudget(*budget)
+
+	if *round > 0 {
+		// The single mutator goroutine: the store's snapshot isolation
+		// lets it apply updates while clients keep reading the previous
+		// version.
+		go func() {
+			for range time.Tick(*round) {
+				if err := env.InsertFromPool(*insert); err != nil {
+					log.Printf("round churn: %v", err)
+				}
+				if err := env.DeleteFraction(*del); err != nil {
+					log.Printf("round churn: %v", err)
+				}
+				h.ResetBudgets()
+				log.Printf("round: |D|=%d version=%d queries=%d",
+					env.Store.Size(), env.Store.Version(), iface.TotalQueries())
+			}
+		}()
+	}
+
+	log.Printf("serving %d-tuple hidden database on %s (k=%d, m=%d, budget=%d, round=%s)",
+		env.Store.Size(), *addr, *k, *m, *budget, *round)
+	log.Fatal(http.ListenAndServe(*addr, h))
+}

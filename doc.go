@@ -47,20 +47,38 @@
 //
 // # Concurrency
 //
-// The paper's query model is inherently sequential — one budget of G
-// queries per round against one evolving database — so every mutable
-// component (Store, Iface, Session, Env, Dataset, Tracker, the
-// estimators, and every rand.Rand) is single-goroutine: owned by the
-// goroutine that created it, with no internal locking. The unit of
-// parallelism is one independent Monte-Carlo TRIAL: the experiment
-// harness (internal/experiments) runs each trial on its own worker
-// goroutine with a fully isolated environment derived deterministically
-// from seed+trialIndex, and aggregates results by trial index, so a
-// parallel run is byte-identical to a sequential one with the same seed
-// (Options.Workers, default one per core). Immutable-after-construction
-// values — schema.Schema, querytree.Tree — are the only state shared
-// across trials. The contract is enforced by a race-detector CI job
-// (make race).
+// The engine is built around versioned immutable snapshots. A Store
+// publishes a Snapshot of each version — the sorted tuple slice plus
+// per-(attribute, value) inverted posting lists — and copy-on-writes
+// everything a published snapshot references before mutating it, so a
+// snapshot is frozen forever once taken. Three things follow:
+//
+//   - Frozen per round: all query answering (Iface.Search, posting-list
+//     intersection, prefix binary search, full scan) runs against the
+//     snapshot of the current store version; answers are byte-identical
+//     across access paths and across any number of concurrent readers.
+//   - Shared by readers: Store.Snapshot, Iface (its snapshot pointer,
+//     sharded answer cache and query counter) and webiface.Handler are
+//     safe for any number of concurrent reader goroutines — many
+//     sessions can search one frozen round at once, and a single
+//     mutator goroutine may apply the next round's updates while they
+//     do (mutations are serialised internally and never touch published
+//     snapshots).
+//   - Still single-goroutine: a Session (budget accounting), a Tracker,
+//     every estimator, Env, Dataset, webiface.Client and every
+//     rand.Rand belong to one goroutine. Concurrency comes from many
+//     sessions over one Iface, never from sharing a session.
+//
+// The unit of parallelism for experiments remains one independent
+// Monte-Carlo TRIAL: the harness (internal/experiments) runs each trial
+// on its own worker goroutine with a fully isolated environment derived
+// deterministically from seed+trialIndex, and aggregates results by
+// trial index, so a parallel run is byte-identical to a sequential one
+// with the same seed (Options.Workers, default one per core).
+// Immutable-after-construction values — schema.Schema, querytree.Tree,
+// every published Snapshot — may be shared freely. The contract is
+// enforced by a race-detector CI job (make race) covering the engine,
+// the experiment harness and the HTTP serving layer.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record of every reproduced figure.

@@ -27,9 +27,16 @@ type (
 
 	// Store owns simulated database contents (harness side).
 	Store = hiddendb.Store
-	// Iface is the restrictive top-k search view over a Store.
+	// Snapshot is one immutable version of a Store: queries are answered
+	// against it (prefix binary search, inverted posting lists, or full
+	// scan, whichever is estimated cheapest), and any number of
+	// goroutines may read one snapshot while the harness prepares the
+	// next round. Obtain via Store.Snapshot or Iface.Snapshot.
+	Snapshot = hiddendb.Snapshot
+	// Iface is the restrictive top-k search view over a Store. It is
+	// safe for concurrent reader goroutines; give each its own Session.
 	Iface = hiddendb.Iface
-	// Session is a per-round budgeted view of an Iface.
+	// Session is a per-round budgeted view of an Iface (one goroutine).
 	Session = hiddendb.Session
 	// Searcher is the only capability estimators require; implement it
 	// over a real web API to run the estimators against a live site.

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/dynagg/dynagg/internal/hiddendb"
+	"github.com/dynagg/dynagg/internal/workload"
+)
+
+// BenchmarkConcurrentSessions measures the full serving cycle the
+// snapshot engine enables: w concurrent sessions drain a round's worth of
+// queries from ONE shared Iface, then the (single) harness goroutine
+// applies the round's churn, and the cycle repeats. One benchmark op is
+// one complete round — queries plus the batch update — so the workers=1
+// vs workers=N ratio reports how much of the round the concurrent read
+// path parallelises.
+func BenchmarkConcurrentSessions(b *testing.B) {
+	const (
+		queriesPerRound = 256
+		insertPerRound  = 100
+		deleteFrac      = 0.002
+	)
+	for _, w := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("sessions=%d", w), func(b *testing.B) {
+			data := workload.AutosLikeN(1, 30000, 12)
+			env, err := workload.NewEnv(data, 27000, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			iface := hiddendb.NewIface(env.Store, 100, nil)
+			var queries []hiddendb.Query
+			for v := 0; v < 16; v++ {
+				queries = append(queries,
+					hiddendb.NewQuery(hiddendb.Pred{Attr: 0, Val: uint16(v % 4)}),
+					hiddendb.NewQuery(hiddendb.Pred{Attr: 7, Val: uint16(v % 3)}), // non-prefix
+				)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				per := queriesPerRound / w
+				for g := 0; g < w; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						s := iface.NewSession(per)
+						for j := 0; j < per; j++ {
+							if _, err := s.Search(queries[(g*per+j)%len(queries)]); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(g)
+				}
+				wg.Wait()
+				// Round boundary: single mutator, snapshot isolation.
+				if err := env.InsertFromPool(insertPerRound); err != nil {
+					b.Fatal(err)
+				}
+				if err := env.DeleteFraction(deleteFrac); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,8 +1,9 @@
 package hiddendb
 
 import (
-	"container/heap"
-	"sort"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
 
 	"github.com/dynagg/dynagg/internal/schema"
 )
@@ -12,6 +13,8 @@ import (
 // matching tuples. The paper treats the scoring function as an opaque
 // property of the site; estimator correctness must not depend on it, which
 // the test suite verifies by running the estimators under several scorers.
+// A Scorer must be a pure function of its tuple — it is called from
+// concurrent reader goroutines.
 type Scorer func(*schema.Tuple) float64
 
 // DefaultScorer ranks tuples by a deterministic hash of their ID — an
@@ -40,24 +43,70 @@ func splitmix64(x uint64) uint64 {
 }
 
 // Iface is the restrictive search interface over a Store: conjunctive
-// queries in, at most k ranked tuples plus an overflow flag out. It also
-// maintains a per-store-version answer cache; the cache is purely a
+// queries in, at most k ranked tuples plus an overflow flag out. Queries
+// are answered against the store's current immutable Snapshot, with a
+// sharded per-version answer cache in front; the cache is purely a
 // simulator-side speedup (the same query re-issued within a round returns
 // the same answer anyway, since the round-update model freezes the data)
 // and never affects query-cost accounting, which is done by Session.
 //
-// Ownership: like the Store it wraps, an Iface (and every Session it
-// hands out) is single-goroutine — the answer cache and lifetime query
-// counter are unsynchronised. Each trial builds its own Iface over its
-// own Store; nothing here may be shared across trial goroutines.
+// Concurrency: an Iface is safe for any number of concurrent reader
+// goroutines — the snapshot pointer, answer cache and lifetime query
+// counter are all lock-free or sharded — so one Iface can serve many
+// sessions searching the same frozen round at once (the webiface.Handler
+// serving path) while the harness applies updates between rounds.
+// Sessions remain single-goroutine: give each client goroutine its own.
 type Iface struct {
 	st      *Store
 	k       int
 	scorer  Scorer
-	queries uint64 // lifetime query count across all sessions
+	queries atomic.Uint64 // lifetime query count across all sessions
+	cache   atomic.Pointer[answerCache]
+}
 
-	cache        map[string]Result
-	cacheVersion uint64
+// cacheShardCount shards the per-version answer cache to keep concurrent
+// sessions off each other's locks. Must be a power of two.
+const cacheShardCount = 16
+
+var cacheSeed = maphash.MakeSeed()
+
+// answerCache is one store version's sharded result cache; a version
+// change swaps the whole cache atomically.
+type answerCache struct {
+	version uint64
+	shards  [cacheShardCount]cacheShard
+}
+
+// cacheShard lazily allocates its map: versions churn on every mutation
+// in the constant-update model, and most shards of most versions are
+// never touched.
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[string]Result
+}
+
+func (sh *cacheShard) get(key string) (Result, bool) {
+	sh.mu.RLock()
+	r, ok := sh.m[key]
+	sh.mu.RUnlock()
+	return r, ok
+}
+
+func (sh *cacheShard) put(key string, r Result) {
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[string]Result)
+	}
+	sh.m[key] = r
+	sh.mu.Unlock()
+}
+
+func newAnswerCache(version uint64) *answerCache {
+	return &answerCache{version: version}
+}
+
+func (c *answerCache) shard(key string) *cacheShard {
+	return &c.shards[maphash.String(cacheSeed, key)&(cacheShardCount-1)]
 }
 
 // NewIface creates a top-k view of the store. scorer may be nil for the
@@ -69,7 +118,7 @@ func NewIface(st *Store, k int, scorer Scorer) *Iface {
 	if scorer == nil {
 		scorer = DefaultScorer
 	}
-	return &Iface{st: st, k: k, scorer: scorer, cache: make(map[string]Result)}
+	return &Iface{st: st, k: k, scorer: scorer}
 }
 
 // K returns the result cap of the interface.
@@ -80,108 +129,86 @@ func (f *Iface) Schema() *schema.Schema { return f.st.Schema() }
 
 // TotalQueries returns the lifetime number of queries answered, across all
 // sessions — the harness uses it for cumulative query-cost figures.
-func (f *Iface) TotalQueries() uint64 { return f.queries }
+func (f *Iface) TotalQueries() uint64 { return f.queries.Load() }
+
+// Snapshot returns the immutable snapshot the interface currently answers
+// from. Harness/serving-side only: it exposes |D| and the raw tuples, so
+// it is deliberately not part of the restricted Searcher capability.
+func (f *Iface) Snapshot() *Snapshot { return f.st.Snapshot() }
+
+// Version returns the store version the interface currently answers for,
+// without forcing snapshot publication (serving diagnostics).
+func (f *Iface) Version() uint64 { return f.st.Version() }
+
+// cacheFor returns the answer cache for the given version, swapping a
+// fresh one in when the store moved on.
+func (f *Iface) cacheFor(version uint64) *answerCache {
+	for {
+		c := f.cache.Load()
+		if c != nil && c.version == version {
+			return c
+		}
+		nc := newAnswerCache(version)
+		if f.cache.CompareAndSwap(c, nc) {
+			return nc
+		}
+	}
+}
 
 // Search answers one query. It never fails; budget enforcement lives in
 // Session.
+//
+// The first query of a store version is answered directly under the
+// store's lock from a reusable ephemeral snapshot; a version only gets a
+// published (copy-on-write) snapshot and cache once a second query hits
+// it. The constant-update model — one mutation before every query —
+// therefore pays no publication cost, while round-update and serving
+// workloads (many queries per frozen version) run lock-free on the
+// published snapshot after the first two queries.
 func (f *Iface) Search(q Query) (Result, error) {
-	f.queries++
-	if v := f.st.Version(); v != f.cacheVersion {
-		f.cache = make(map[string]Result)
-		f.cacheVersion = v
+	f.queries.Add(1)
+	if s := f.st.snap.Load(); s != nil && s.version == f.st.version.Load() {
+		return f.searchSnapshot(s, q), nil
 	}
-	key := q.Key()
-	if r, ok := f.cache[key]; ok {
-		return r, nil
+	f.st.snapMu.Lock()
+	v := f.st.version.Load()
+	if s := f.st.snap.Load(); s != nil && s.version == v {
+		f.st.snapMu.Unlock()
+		return f.searchSnapshot(s, q), nil
 	}
-	r := f.answer(q)
-	f.cache[key] = r
+	if f.st.lastQueried == v {
+		// Second query at this version: it is worth freezing.
+		s := f.st.publishLocked()
+		f.st.snapMu.Unlock()
+		return f.searchSnapshot(s, q), nil
+	}
+	f.st.lastQueried = v
+	r := f.st.ephemeralLocked().Answer(q, f.k, f.scorer)
+	f.st.snapMu.Unlock()
 	return r, nil
 }
 
-// tupleHeap is a min-heap by (score, ID) keeping the best k tuples seen.
-type tupleHeap struct {
-	items  []*schema.Tuple
-	scores []float64
-}
-
-func (h *tupleHeap) Len() int { return len(h.items) }
-func (h *tupleHeap) Less(i, j int) bool {
-	if h.scores[i] != h.scores[j] {
-		return h.scores[i] < h.scores[j]
+// searchSnapshot answers q on a published snapshot through the sharded
+// per-version cache.
+func (f *Iface) searchSnapshot(snap *Snapshot, q Query) Result {
+	c := f.cacheFor(snap.Version())
+	key := q.Key()
+	sh := c.shard(key)
+	if r, ok := sh.get(key); ok {
+		return r
 	}
-	return h.items[i].ID > h.items[j].ID // worse = larger ID on ties
-}
-func (h *tupleHeap) Swap(i, j int) {
-	h.items[i], h.items[j] = h.items[j], h.items[i]
-	h.scores[i], h.scores[j] = h.scores[j], h.scores[i]
-}
-func (h *tupleHeap) Push(x any) {
-	p := x.(scored)
-	h.items = append(h.items, p.t)
-	h.scores = append(h.scores, p.s)
-}
-func (h *tupleHeap) Pop() any {
-	n := len(h.items) - 1
-	p := scored{t: h.items[n], s: h.scores[n]}
-	h.items = h.items[:n]
-	h.scores = h.scores[:n]
-	return p
-}
-
-type scored struct {
-	t *schema.Tuple
-	s float64
-}
-
-// answer computes the uncached top-k result.
-func (f *Iface) answer(q Query) Result {
-	h := &tupleHeap{}
-	matches := 0
-	f.st.scanMatching(q, func(t *schema.Tuple) {
-		matches++
-		s := f.scorer(t)
-		if h.Len() < f.k {
-			heap.Push(h, scored{t: t, s: s})
-			return
-		}
-		// Replace the current worst if strictly better.
-		if s > h.scores[0] || (s == h.scores[0] && t.ID < h.items[0].ID) {
-			h.items[0], h.scores[0] = t, s
-			heap.Fix(h, 0)
-		}
-	})
-	res := Result{Overflow: matches > f.k}
-	res.Tuples = make([]*schema.Tuple, h.Len())
-	scs := make([]float64, h.Len())
-	copy(res.Tuples, h.items)
-	copy(scs, h.scores)
-	// Rank best-first, deterministic.
-	sort.Sort(&rankSort{tuples: res.Tuples, scores: scs})
-	return res
-}
-
-type rankSort struct {
-	tuples []*schema.Tuple
-	scores []float64
-}
-
-func (r *rankSort) Len() int { return len(r.tuples) }
-func (r *rankSort) Less(i, j int) bool {
-	if r.scores[i] != r.scores[j] {
-		return r.scores[i] > r.scores[j]
-	}
-	return r.tuples[i].ID < r.tuples[j].ID
-}
-func (r *rankSort) Swap(i, j int) {
-	r.tuples[i], r.tuples[j] = r.tuples[j], r.tuples[i]
-	r.scores[i], r.scores[j] = r.scores[j], r.scores[i]
+	r := snap.Answer(q, f.k, f.scorer)
+	sh.put(key, r)
+	return r
 }
 
 // Session enforces the per-round query budget G on top of an Iface and
 // optionally drives the constant-update model by running a hook before
 // each query (the harness uses the hook to apply mid-round updates,
 // modelling databases that change while the algorithm is executing, §5.2).
+//
+// A Session is single-goroutine (its budget accounting is unsynchronised);
+// concurrency comes from many sessions sharing one Iface.
 type Session struct {
 	f         *Iface
 	budget    int

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"github.com/dynagg/dynagg/internal/schema"
@@ -68,13 +69,20 @@ func (q Query) Preds() []Pred { return q.preds }
 func (q Query) Len() int { return len(q.preds) }
 
 // Key returns a canonical string encoding, usable as a cache/map key.
+// It is called once per search on the hot path, so it appends digits
+// directly (strconv) rather than going through fmt's reflection.
 func (q Query) Key() string {
-	var b strings.Builder
-	b.Grow(len(q.preds) * 8)
-	for _, p := range q.preds {
-		fmt.Fprintf(&b, "%d=%d;", p.Attr, p.Val)
+	if len(q.preds) == 0 {
+		return ""
 	}
-	return b.String()
+	b := make([]byte, 0, len(q.preds)*8)
+	for _, p := range q.preds {
+		b = strconv.AppendInt(b, int64(p.Attr), 10)
+		b = append(b, '=')
+		b = strconv.AppendUint(b, uint64(p.Val), 10)
+		b = append(b, ';')
+	}
+	return string(b)
 }
 
 // String renders the query with attribute names from the schema.

@@ -1,0 +1,356 @@
+package hiddendb
+
+import (
+	"container/heap"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/dynagg/dynagg/internal/schema"
+)
+
+// Snapshot is one immutable, fully consistent version of a Store: the
+// sorted tuple slice plus per-(attribute, value) inverted posting lists.
+// A snapshot never changes after publication — the Store copy-on-writes
+// every slice and map a snapshot references before mutating it — so any
+// number of goroutines may answer queries against one snapshot while the
+// harness prepares the next round's updates.
+//
+// Query answering picks between three strategies by estimated cost:
+//
+//   - prefix: canonical-prefix binary search to a contiguous tuple range;
+//   - postings: iterate the smallest materialised posting list among the
+//     query's predicates and filter the remaining predicates;
+//   - scan: the full O(n) pass (the only option the pre-snapshot engine
+//     had for non-prefix queries).
+//
+// All three return byte-identical Results: the top-k set under the strict
+// (score desc, ID asc) order is independent of iteration order, which the
+// equivalence tests in snapshot_test.go verify exhaustively.
+type Snapshot struct {
+	sch            *schema.Schema
+	tuples         []*schema.Tuple // canonical (Vals, ID) order
+	attrs          []snapAttr      // one per schema attribute
+	broadMatchNull bool
+	version        uint64
+}
+
+// snapAttr holds one attribute's posting lists. Store-maintained
+// attributes carry their (immutable, ID-sorted) lists directly; inactive
+// attributes get a lazyIndex that is built on first demand by whichever
+// reader needs it, and whose demand flag tells the Store to start
+// maintaining that attribute incrementally from the next version on.
+type snapAttr struct {
+	lists map[uint16][]*schema.Tuple
+	lazy  *lazyIndex
+}
+
+// lazyIndex builds an attribute's posting lists on first use, once,
+// shared by all readers of the snapshot. Lazily built lists are in
+// canonical tuple order (build order), not ID order — answering is
+// order-insensitive, only the Store's incrementally maintained lists need
+// the ID-sort invariant.
+type lazyIndex struct {
+	once     sync.Once
+	built    atomic.Pointer[map[uint16][]*schema.Tuple]
+	demanded atomic.Bool
+}
+
+// build scans the snapshot's tuples once and materialises every value's
+// posting list for the attribute.
+func (li *lazyIndex) build(attr int, tuples []*schema.Tuple) map[uint16][]*schema.Tuple {
+	li.demanded.Store(true)
+	li.once.Do(func() {
+		m := make(map[uint16][]*schema.Tuple)
+		for _, t := range tuples {
+			v := t.Vals[attr]
+			m[v] = append(m[v], t)
+		}
+		li.built.Store(&m)
+	})
+	return *li.built.Load()
+}
+
+// loaded returns the lists if already built, without triggering a build.
+func (li *lazyIndex) loaded() map[uint16][]*schema.Tuple {
+	if p := li.built.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Version returns the store version this snapshot was taken at.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Size returns the number of tuples frozen in the snapshot, |D|.
+func (s *Snapshot) Size() int { return len(s.tuples) }
+
+// Schema returns the snapshot's schema.
+func (s *Snapshot) Schema() *schema.Schema { return s.sch }
+
+// BroadMatchNull reports the NULL policy frozen into the snapshot.
+func (s *Snapshot) BroadMatchNull() bool { return s.broadMatchNull }
+
+// ForEach visits every tuple in canonical order.
+func (s *Snapshot) ForEach(fn func(*schema.Tuple)) {
+	for _, t := range s.tuples {
+		fn(t)
+	}
+}
+
+// CountMatching returns |Sel(q)| exactly — ground truth only, never
+// exposed through the restricted interface.
+func (s *Snapshot) CountMatching(q Query) int {
+	n := 0
+	s.forEachMatching(q, strategyAuto, func(*schema.Tuple) { n++ })
+	return n
+}
+
+// strategy selects how forEachMatching enumerates candidates. Tests force
+// each strategy explicitly to prove they answer identically.
+type strategy int
+
+const (
+	strategyAuto strategy = iota
+	strategyScan
+	strategyPrefix
+	strategyPostings
+)
+
+// prefixRange locates the contiguous slice of tuples matching the query's
+// canonical-order prefix of length pl (pl ≥ 1, no broad-match NULLs).
+func (s *Snapshot) prefixRange(q Query, pl int) (lo, hi int) {
+	prefix := make([]uint16, pl)
+	for i := 0; i < pl; i++ {
+		prefix[i] = q.preds[i].Val
+	}
+	lo = sort.Search(len(s.tuples), func(i int) bool {
+		return schema.CompareVals(s.tuples[i].Vals[:pl], prefix) >= 0
+	})
+	hi = sort.Search(len(s.tuples), func(i int) bool {
+		return schema.CompareVals(s.tuples[i].Vals[:pl], prefix) > 0
+	})
+	return lo, hi
+}
+
+// candidateLists returns the posting lists covering predicate p, or
+// ok=false when the attribute's index is not materialised yet. Under
+// broad-match NULL semantics a tuple with NULL in p.Attr also matches, so
+// the NULL list joins the candidate set for nullable attributes.
+func (s *Snapshot) candidateLists(p Pred) (lists [][]*schema.Tuple, size int, ok bool) {
+	sa := &s.attrs[p.Attr]
+	m := sa.lists
+	if m == nil {
+		if sa.lazy == nil {
+			return nil, 0, false
+		}
+		if m = sa.lazy.loaded(); m == nil {
+			return nil, 0, false
+		}
+	}
+	if l := m[p.Val]; len(l) > 0 {
+		lists = append(lists, l)
+		size += len(l)
+	}
+	if s.broadMatchNull && p.Val != schema.NullCode && s.sch.Attr(p.Attr).Nullable {
+		if l := m[schema.NullCode]; len(l) > 0 {
+			lists = append(lists, l)
+			size += len(l)
+		}
+	}
+	return lists, size, true
+}
+
+// materialise builds the lazy index for p's attribute and returns its
+// candidate lists. ok=false on ephemeral snapshots, which carry no lazy
+// builders (they answer exactly one query and are never shared).
+func (s *Snapshot) materialise(p Pred) (lists [][]*schema.Tuple, size int, ok bool) {
+	sa := &s.attrs[p.Attr]
+	if sa.lists == nil {
+		if sa.lazy == nil {
+			return nil, 0, false
+		}
+		sa.lazy.build(p.Attr, s.tuples)
+	}
+	return s.candidateLists(p)
+}
+
+// forEachMatching yields every tuple matching q, choosing the cheapest
+// available access path (or the forced one). The set of visited tuples is
+// identical for every strategy; only the visit order may differ.
+func (s *Snapshot) forEachMatching(q Query, strat strategy, fn func(*schema.Tuple)) {
+	if len(q.preds) == 0 {
+		for _, t := range s.tuples {
+			fn(t)
+		}
+		return
+	}
+	n := len(s.tuples)
+
+	// Prefix range (unusable under broad-match NULLs: a NULL tuple may
+	// match a prefix predicate yet sort outside the value's range).
+	pl := 0
+	lo, hi := 0, n
+	if !s.broadMatchNull {
+		pl = q.prefixLen()
+		if pl > 0 {
+			lo, hi = s.prefixRange(q, pl)
+		}
+	}
+
+	scanRange := func() {
+		rest := Query{preds: q.preds[pl:]}
+		for _, t := range s.tuples[lo:hi] {
+			if len(rest.preds) == 0 || rest.Matches(t, s.broadMatchNull) {
+				fn(t)
+			}
+		}
+	}
+	scanLists := func(lists [][]*schema.Tuple) {
+		for _, l := range lists {
+			for _, t := range l {
+				if q.Matches(t, s.broadMatchNull) {
+					fn(t)
+				}
+			}
+		}
+	}
+
+	switch strat {
+	case strategyScan:
+		pl, lo, hi = 0, 0, n
+		scanRange()
+		return
+	case strategyPrefix:
+		scanRange()
+		return
+	case strategyPostings:
+		// Build every predicate's index, then take the smallest.
+		best, bestSize := [][]*schema.Tuple(nil), -1
+		for _, p := range q.preds {
+			lists, size, ok := s.materialise(p)
+			if ok && (bestSize < 0 || size < bestSize) {
+				best, bestSize = lists, size
+			}
+		}
+		if bestSize < 0 { // ephemeral snapshot: no indexes to force
+			pl, lo, hi = 0, 0, n
+			scanRange()
+			return
+		}
+		scanLists(best)
+		return
+	}
+
+	// strategyAuto: smallest-list-first among materialised predicates,
+	// against the prefix range (or full scan) cost.
+	best, bestSize := [][]*schema.Tuple(nil), -1
+	for _, p := range q.preds {
+		if lists, size, ok := s.candidateLists(p); ok && (bestSize < 0 || size < bestSize) {
+			best, bestSize = lists, size
+		}
+	}
+	if bestSize < 0 && hi-lo == n {
+		// No materialised index and no prefix pruning: this query would
+		// pay a full scan. Invest that same O(n) in building the first
+		// predicate's index instead — every later query over the
+		// attribute rides the posting lists, and the demand flag tells
+		// the Store to maintain the index incrementally from the next
+		// version on.
+		if lists, size, ok := s.materialise(q.preds[0]); ok {
+			best, bestSize = lists, size
+		}
+	}
+	if bestSize >= 0 && bestSize < hi-lo {
+		scanLists(best)
+		return
+	}
+	scanRange()
+}
+
+// Answer computes the top-k result for q under the given scorer. It is
+// the query engine behind Iface.Search; callers that bypass Iface (the
+// serving benchmarks) must pass a deterministic scorer for reproducible
+// results.
+func (s *Snapshot) Answer(q Query, k int, scorer Scorer) Result {
+	return s.answerWith(q, k, scorer, strategyAuto)
+}
+
+// answerWith is Answer with a forced access path (tests only).
+func (s *Snapshot) answerWith(q Query, k int, scorer Scorer, strat strategy) Result {
+	h := &tupleHeap{}
+	matches := 0
+	s.forEachMatching(q, strat, func(t *schema.Tuple) {
+		matches++
+		sc := scorer(t)
+		if h.Len() < k {
+			heap.Push(h, scored{t: t, s: sc})
+			return
+		}
+		// Replace the current worst if strictly better.
+		if sc > h.scores[0] || (sc == h.scores[0] && t.ID < h.items[0].ID) {
+			h.items[0], h.scores[0] = t, sc
+			heap.Fix(h, 0)
+		}
+	})
+	res := Result{Overflow: matches > k}
+	res.Tuples = make([]*schema.Tuple, h.Len())
+	scs := make([]float64, h.Len())
+	copy(res.Tuples, h.items)
+	copy(scs, h.scores)
+	// Rank best-first, deterministic.
+	sort.Sort(&rankSort{tuples: res.Tuples, scores: scs})
+	return res
+}
+
+// tupleHeap is a min-heap by (score, ID) keeping the best k tuples seen.
+type tupleHeap struct {
+	items  []*schema.Tuple
+	scores []float64
+}
+
+func (h *tupleHeap) Len() int { return len(h.items) }
+func (h *tupleHeap) Less(i, j int) bool {
+	if h.scores[i] != h.scores[j] {
+		return h.scores[i] < h.scores[j]
+	}
+	return h.items[i].ID > h.items[j].ID // worse = larger ID on ties
+}
+func (h *tupleHeap) Swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.scores[i], h.scores[j] = h.scores[j], h.scores[i]
+}
+func (h *tupleHeap) Push(x any) {
+	p := x.(scored)
+	h.items = append(h.items, p.t)
+	h.scores = append(h.scores, p.s)
+}
+func (h *tupleHeap) Pop() any {
+	n := len(h.items) - 1
+	p := scored{t: h.items[n], s: h.scores[n]}
+	h.items = h.items[:n]
+	h.scores = h.scores[:n]
+	return p
+}
+
+type scored struct {
+	t *schema.Tuple
+	s float64
+}
+
+type rankSort struct {
+	tuples []*schema.Tuple
+	scores []float64
+}
+
+func (r *rankSort) Len() int { return len(r.tuples) }
+func (r *rankSort) Less(i, j int) bool {
+	if r.scores[i] != r.scores[j] {
+		return r.scores[i] > r.scores[j]
+	}
+	return r.tuples[i].ID < r.tuples[j].ID
+}
+func (r *rankSort) Swap(i, j int) {
+	r.tuples[i], r.tuples[j] = r.tuples[j], r.tuples[i]
+	r.scores[i], r.scores[j] = r.scores[j], r.scores[i]
+}

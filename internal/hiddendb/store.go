@@ -3,6 +3,8 @@ package hiddendb
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/dynagg/dynagg/internal/schema"
 )
@@ -10,33 +12,62 @@ import (
 // Store owns the database contents. Tuples are kept sorted in canonical
 // attribute order (lexicographic on value codes, ID tiebreak) so that the
 // prefix-conjunctive queries issued by drill downs resolve to contiguous
-// ranges found by binary search.
+// ranges found by binary search. Alongside the sorted slice the store
+// maintains per-(attribute, value) inverted posting lists for every
+// attribute a reader has demanded one for (see Snapshot); posting lists
+// are updated incrementally on Insert/Delete/Replace/ApplyBatch.
 //
 // Only the simulation harness holds a *Store; estimators see it through
 // Iface/Session.
 //
-// Ownership: a Store is single-goroutine, sync-free by design. The paper's
-// query model is inherently sequential (a budget of G queries per round
-// against one evolving database), so each Store belongs to exactly one
-// trial and is touched only by that trial's worker goroutine. Parallelism
-// across trials comes from the experiment harness giving every trial its
-// own Store (see internal/experiments/parallel.go); never share one
-// across goroutines.
+// Concurrency: reads go through immutable Snapshots (see Snapshot()), so
+// any number of goroutines may query the store concurrently. Mutations
+// are serialised internally (snapMu) and copy-on-write everything a
+// published snapshot references, so a single mutator goroutine may apply
+// updates while readers keep answering on the previous version. Mutating
+// from more than one goroutine at a time, or mixing mutation with the
+// harness-side accessors (ForEach, At, IDs, Get, CountMatching) across
+// goroutines, remains the caller's responsibility — in the experiment
+// harness each Store belongs to exactly one trial.
 type Store struct {
 	sch            *schema.Schema
 	tuples         []*schema.Tuple // sorted by (Vals, ID)
 	byID           map[uint64]*schema.Tuple
-	version        uint64
+	idx            []*attrIndex // per attribute; nil until demanded
+	tuplesShared   bool         // tuples slice referenced by a snapshot
 	nextID         uint64
 	broadMatchNull bool
+
+	version atomic.Uint64
+	snapMu  sync.Mutex // serialises mutations and snapshot publication
+	snap    atomic.Pointer[Snapshot]
+
+	// lastQueried is the newest version that answered a query without a
+	// published snapshot; a second query at the same version triggers
+	// publication (guarded by snapMu). eph is the reusable ephemeral
+	// snapshot those first-per-version queries are answered from.
+	lastQueried uint64
+	eph         *Snapshot
+}
+
+// attrIndex is one attribute's posting lists, each sorted by tuple ID so
+// incremental maintenance is a binary search away. After publication in a
+// snapshot the map (and every list) is shared and must be copied before
+// the next mutation touches it.
+type attrIndex struct {
+	lists  map[uint16][]*schema.Tuple
+	shared bool            // whole map referenced by a snapshot
+	owned  map[uint16]bool // per-list ownership after the map was re-cloned; nil ⇒ all owned
 }
 
 // NewStore creates an empty store over the given schema.
 func NewStore(sch *schema.Schema) *Store {
 	return &Store{
-		sch:    sch,
-		byID:   make(map[uint64]*schema.Tuple),
-		nextID: 1,
+		sch:         sch,
+		byID:        make(map[uint64]*schema.Tuple),
+		idx:         make([]*attrIndex, sch.M()),
+		nextID:      1,
+		lastQueried: ^uint64(0),
 	}
 }
 
@@ -45,8 +76,10 @@ func NewStore(sch *schema.Schema) *Store {
 // predicate on Ai (paper §5 "Other Issues"). Default is off (NULL matches
 // only IS NULL predicates).
 func (st *Store) SetBroadMatchNull(on bool) {
+	st.snapMu.Lock()
+	defer st.snapMu.Unlock()
 	st.broadMatchNull = on
-	st.version++
+	st.version.Add(1)
 }
 
 // BroadMatchNull reports the current NULL matching policy.
@@ -58,15 +91,99 @@ func (st *Store) Schema() *schema.Schema { return st.sch }
 // Size returns the current number of tuples, |D|.
 func (st *Store) Size() int { return len(st.tuples) }
 
-// Version increases on every modification; interfaces use it to invalidate
-// per-round result caches.
-func (st *Store) Version() uint64 { return st.version }
+// Version increases on every modification; snapshots and answer caches
+// are tagged with it.
+func (st *Store) Version() uint64 { return st.version.Load() }
 
 // NextID reserves and returns a fresh unique tuple ID.
 func (st *Store) NextID() uint64 {
 	id := st.nextID
 	st.nextID++
 	return id
+}
+
+// Snapshot returns the immutable snapshot of the current version,
+// building and caching it on first request. It is safe to call from any
+// number of reader goroutines; publication is serialised with mutations,
+// and a snapshot taken at version v keeps answering for v forever, no
+// matter how the store changes afterwards.
+func (st *Store) Snapshot() *Snapshot {
+	if s := st.snap.Load(); s != nil && s.version == st.version.Load() {
+		return s
+	}
+	st.snapMu.Lock()
+	defer st.snapMu.Unlock()
+	if s := st.snap.Load(); s != nil && s.version == st.version.Load() {
+		return s
+	}
+	return st.publishLocked()
+}
+
+// publishLocked builds, publishes and returns the snapshot of the
+// current version. Caller holds snapMu.
+func (st *Store) publishLocked() *Snapshot {
+	v := st.version.Load()
+	// Promote attributes whose index the previous snapshot built on
+	// demand: from this version on the store maintains them incrementally.
+	if prev := st.snap.Load(); prev != nil {
+		for a := range st.idx {
+			if st.idx[a] == nil && prev.attrs[a].lazy != nil && prev.attrs[a].lazy.demanded.Load() {
+				st.idx[a] = buildAttrIndex(st.tuples, a)
+			}
+		}
+	}
+	s := &Snapshot{
+		sch:            st.sch,
+		tuples:         st.tuples,
+		attrs:          make([]snapAttr, st.sch.M()),
+		broadMatchNull: st.broadMatchNull,
+		version:        v,
+	}
+	// One backing array for all lazy indexes: snapshots are published on
+	// every version change, so per-attribute allocations add up.
+	lazies := make([]lazyIndex, 0, st.sch.M())
+	for a := range s.attrs {
+		if ai := st.idx[a]; ai != nil {
+			s.attrs[a].lists = ai.lists
+			ai.shared = true
+			ai.owned = nil
+		} else {
+			lazies = append(lazies, lazyIndex{})
+			s.attrs[a].lazy = &lazies[len(lazies)-1]
+		}
+	}
+	st.tuplesShared = true
+	st.snap.Store(s)
+	return s
+}
+
+// ephemeralLocked returns a throwaway snapshot of the current version for
+// answering a single query under snapMu. It shares the store's slices
+// WITHOUT marking them copy-on-write, so it must never be published,
+// retained past the locked region, or handed to another goroutine. It
+// exists for the constant-update model, where the database mutates before
+// every query: publishing a real snapshot there would pay an O(n)
+// copy-on-write per query for a snapshot that answers exactly one.
+// The one snapshot object is reused across calls (alloc-free steady
+// state); it carries no lazy index builders.
+func (st *Store) ephemeralLocked() *Snapshot {
+	s := st.eph
+	if s == nil {
+		s = &Snapshot{sch: st.sch, attrs: make([]snapAttr, st.sch.M())}
+		st.eph = s
+	}
+	s.tuples = st.tuples
+	s.broadMatchNull = st.broadMatchNull
+	s.version = st.version.Load()
+	for a := range s.attrs {
+		if ai := st.idx[a]; ai != nil {
+			s.attrs[a].lists = ai.lists
+		} else {
+			s.attrs[a].lists = nil
+		}
+		s.attrs[a].lazy = nil
+	}
+	return s
 }
 
 // less orders tuples by value vector then ID.
@@ -78,7 +195,9 @@ func less(a, b *schema.Tuple) bool {
 	return a.ID < b.ID
 }
 
-// searchPos returns the insertion position of t in the sorted slice.
+// searchPos returns the position of t in the sorted slice: its exact
+// index when t is present ((Vals, ID) is unique), else its insertion
+// point.
 func (st *Store) searchPos(t *schema.Tuple) int {
 	return sort.Search(len(st.tuples), func(i int) bool { return !less(st.tuples[i], t) })
 }
@@ -96,42 +215,66 @@ func (st *Store) Insert(t *schema.Tuple) error {
 	if _, ok := st.byID[t.ID]; ok {
 		return fmt.Errorf("hiddendb: duplicate tuple ID %d", t.ID)
 	}
+	st.snapMu.Lock()
+	defer st.snapMu.Unlock()
 	if t.ID >= st.nextID {
 		st.nextID = t.ID + 1
 	}
 	pos := st.searchPos(t)
-	st.tuples = append(st.tuples, nil)
-	copy(st.tuples[pos+1:], st.tuples[pos:])
-	st.tuples[pos] = t
+	if st.tuplesShared {
+		// Copy-on-write fused with the insert: one pass, not copy+shift.
+		nt := make([]*schema.Tuple, len(st.tuples)+1)
+		copy(nt, st.tuples[:pos])
+		nt[pos] = t
+		copy(nt[pos+1:], st.tuples[pos:])
+		st.tuples = nt
+		st.tuplesShared = false
+	} else {
+		st.tuples = append(st.tuples, nil)
+		copy(st.tuples[pos+1:], st.tuples[pos:])
+		st.tuples[pos] = t
+	}
 	st.byID[t.ID] = t
-	st.version++
+	st.indexInsert(t)
+	st.version.Add(1)
 	return nil
 }
 
-// Delete removes the tuple with the given ID, returning it.
+// Delete removes the tuple with the given ID, returning it. The exact
+// position is resolved by one (Vals, ID) binary search.
 func (st *Store) Delete(id uint64) (*schema.Tuple, error) {
 	t, ok := st.byID[id]
 	if !ok {
 		return nil, fmt.Errorf("hiddendb: no tuple with ID %d", id)
 	}
+	st.snapMu.Lock()
+	defer st.snapMu.Unlock()
 	pos := st.searchPos(t)
-	for pos < len(st.tuples) && st.tuples[pos].ID != id {
-		pos++
-	}
-	if pos == len(st.tuples) {
+	if pos >= len(st.tuples) || st.tuples[pos] != t {
 		panic(fmt.Sprintf("hiddendb: index out of sync for tuple %d", id))
 	}
-	copy(st.tuples[pos:], st.tuples[pos+1:])
-	st.tuples = st.tuples[:len(st.tuples)-1]
+	if st.tuplesShared {
+		nt := make([]*schema.Tuple, len(st.tuples)-1)
+		copy(nt, st.tuples[:pos])
+		copy(nt[pos:], st.tuples[pos+1:])
+		st.tuples = nt
+		st.tuplesShared = false
+	} else {
+		copy(st.tuples[pos:], st.tuples[pos+1:])
+		st.tuples = st.tuples[:len(st.tuples)-1]
+	}
 	delete(st.byID, id)
-	st.version++
+	st.indexDelete(t)
+	st.version.Add(1)
 	return t, nil
 }
 
 // Replace atomically substitutes the tuple with the given ID by a modified
 // copy produced by mutate. This models in-place updates (e.g. a price
 // change on an eBay listing): the logical tuple keeps its ID, old pointers
-// held by estimators keep their historical snapshot values.
+// held by estimators keep their historical snapshot values. The old and
+// new positions are each resolved by one binary search and the tuples in
+// between shift once — no delete-then-insert double pass.
 func (st *Store) Replace(id uint64, mutate func(copy *schema.Tuple)) error {
 	old, ok := st.byID[id]
 	if !ok {
@@ -142,10 +285,39 @@ func (st *Store) Replace(id uint64, mutate func(copy *schema.Tuple)) error {
 	if err := st.sch.Validate(repl.Vals); err != nil {
 		return err
 	}
-	if _, err := st.Delete(id); err != nil {
-		return err
+	st.snapMu.Lock()
+	defer st.snapMu.Unlock()
+	oldPos := st.searchPos(old)
+	if oldPos >= len(st.tuples) || st.tuples[oldPos] != old {
+		panic(fmt.Sprintf("hiddendb: index out of sync for tuple %d", id))
 	}
-	return st.Insert(repl)
+	newPos := st.searchPos(repl) // insertion point with old still present
+	if st.tuplesShared {
+		nt := make([]*schema.Tuple, len(st.tuples))
+		if newPos > oldPos {
+			copy(nt, st.tuples[:oldPos])
+			copy(nt[oldPos:], st.tuples[oldPos+1:newPos])
+			nt[newPos-1] = repl
+			copy(nt[newPos:], st.tuples[newPos:])
+		} else {
+			copy(nt, st.tuples[:newPos])
+			nt[newPos] = repl
+			copy(nt[newPos+1:], st.tuples[newPos:oldPos])
+			copy(nt[oldPos+1:], st.tuples[oldPos+1:])
+		}
+		st.tuples = nt
+		st.tuplesShared = false
+	} else if newPos > oldPos {
+		copy(st.tuples[oldPos:], st.tuples[oldPos+1:newPos])
+		st.tuples[newPos-1] = repl
+	} else {
+		copy(st.tuples[newPos+1:oldPos+1], st.tuples[newPos:oldPos])
+		st.tuples[newPos] = repl
+	}
+	st.byID[id] = repl
+	st.indexReplace(old, repl)
+	st.version.Add(1)
+	return nil
 }
 
 // Get returns the live tuple with the given ID, or nil.
@@ -156,14 +328,17 @@ func (st *Store) Get(id uint64) *schema.Tuple { return st.byID[id] }
 // than O((i+d)·n), which matters for the 10^7-tuple scalability sweep.
 func (st *Store) ApplyBatch(inserts []*schema.Tuple, deleteIDs []uint64) error {
 	del := make(map[uint64]bool, len(deleteIDs))
+	delTuples := make([]*schema.Tuple, 0, len(deleteIDs))
 	for _, id := range deleteIDs {
-		if _, ok := st.byID[id]; !ok {
+		t, ok := st.byID[id]
+		if !ok {
 			return fmt.Errorf("hiddendb: batch delete of unknown ID %d", id)
 		}
 		if del[id] {
 			return fmt.Errorf("hiddendb: duplicate delete of ID %d", id)
 		}
 		del[id] = true
+		delTuples = append(delTuples, t)
 	}
 	ins := make([]*schema.Tuple, len(inserts))
 	copy(ins, inserts)
@@ -177,9 +352,6 @@ func (st *Store) ApplyBatch(inserts []*schema.Tuple, deleteIDs []uint64) error {
 		if _, ok := st.byID[t.ID]; ok && !del[t.ID] {
 			return fmt.Errorf("hiddendb: duplicate tuple ID %d", t.ID)
 		}
-		if t.ID >= st.nextID {
-			st.nextID = t.ID + 1
-		}
 	}
 	sort.Slice(ins, func(i, j int) bool { return less(ins[i], ins[j]) })
 	for i := 1; i < len(ins); i++ {
@@ -188,6 +360,13 @@ func (st *Store) ApplyBatch(inserts []*schema.Tuple, deleteIDs []uint64) error {
 		}
 	}
 
+	st.snapMu.Lock()
+	defer st.snapMu.Unlock()
+	for _, t := range ins {
+		if t.ID >= st.nextID {
+			st.nextID = t.ID + 1
+		}
+	}
 	merged := make([]*schema.Tuple, 0, len(st.tuples)-len(del)+len(ins))
 	i, j := 0, 0
 	for i < len(st.tuples) || j < len(ins) {
@@ -212,9 +391,201 @@ func (st *Store) ApplyBatch(inserts []*schema.Tuple, deleteIDs []uint64) error {
 		st.byID[t.ID] = t
 	}
 	st.tuples = merged
-	st.version++
+	st.tuplesShared = false
+	st.indexApplyBatch(ins, delTuples)
+	st.version.Add(1)
 	return nil
 }
+
+// ---------------------------------------------------------------------
+// Incremental posting-list maintenance
+// ---------------------------------------------------------------------
+
+// buildAttrIndex materialises one attribute's posting lists (ID-sorted)
+// from the sorted tuple slice.
+func buildAttrIndex(tuples []*schema.Tuple, attr int) *attrIndex {
+	lists := make(map[uint16][]*schema.Tuple)
+	for _, t := range tuples {
+		v := t.Vals[attr]
+		lists[v] = append(lists[v], t)
+	}
+	for _, l := range lists {
+		sort.Slice(l, func(i, j int) bool { return l[i].ID < l[j].ID })
+	}
+	return &attrIndex{lists: lists}
+}
+
+// ensureMapOwned re-clones the map headers if a snapshot holds the map.
+func (ai *attrIndex) ensureMapOwned() {
+	if ai.shared {
+		m := make(map[uint16][]*schema.Tuple, len(ai.lists))
+		for v, l := range ai.lists {
+			m[v] = l
+		}
+		ai.lists = m
+		ai.shared = false
+		ai.owned = make(map[uint16]bool)
+	}
+}
+
+// mutable returns the list for val, copied first if a snapshot shares it.
+func (ai *attrIndex) mutable(val uint16) []*schema.Tuple {
+	ai.ensureMapOwned()
+	l := ai.lists[val]
+	if ai.owned != nil && !ai.owned[val] {
+		l = append([]*schema.Tuple(nil), l...)
+		ai.lists[val] = l
+		ai.owned[val] = true
+	}
+	return l
+}
+
+// setList installs a freshly built list for val (owned by construction).
+func (ai *attrIndex) setList(val uint16, l []*schema.Tuple) {
+	ai.ensureMapOwned()
+	if len(l) == 0 {
+		delete(ai.lists, val)
+		if ai.owned != nil {
+			delete(ai.owned, val)
+		}
+		return
+	}
+	ai.lists[val] = l
+	if ai.owned != nil {
+		ai.owned[val] = true
+	}
+}
+
+// idPos returns the index of id in the ID-sorted list (must be present).
+func idPos(l []*schema.Tuple, id uint64) int {
+	pos := sort.Search(len(l), func(i int) bool { return l[i].ID >= id })
+	if pos >= len(l) || l[pos].ID != id {
+		panic(fmt.Sprintf("hiddendb: posting list out of sync for tuple %d", id))
+	}
+	return pos
+}
+
+func insertByID(l []*schema.Tuple, t *schema.Tuple) []*schema.Tuple {
+	pos := sort.Search(len(l), func(i int) bool { return l[i].ID >= t.ID })
+	l = append(l, nil)
+	copy(l[pos+1:], l[pos:])
+	l[pos] = t
+	return l
+}
+
+func removeByID(l []*schema.Tuple, id uint64) []*schema.Tuple {
+	pos := idPos(l, id)
+	copy(l[pos:], l[pos+1:])
+	return l[:len(l)-1]
+}
+
+func (st *Store) indexInsert(t *schema.Tuple) {
+	for a, ai := range st.idx {
+		if ai == nil {
+			continue
+		}
+		v := t.Vals[a]
+		ai.setList(v, insertByID(ai.mutable(v), t))
+	}
+}
+
+func (st *Store) indexDelete(t *schema.Tuple) {
+	for a, ai := range st.idx {
+		if ai == nil {
+			continue
+		}
+		v := t.Vals[a]
+		ai.setList(v, removeByID(ai.mutable(v), t.ID))
+	}
+}
+
+func (st *Store) indexReplace(old, repl *schema.Tuple) {
+	for a, ai := range st.idx {
+		if ai == nil {
+			continue
+		}
+		ov, nv := old.Vals[a], repl.Vals[a]
+		if ov == nv {
+			// Same list, same ID position: swap the pointer in place.
+			l := ai.mutable(ov)
+			l[idPos(l, old.ID)] = repl
+			continue
+		}
+		ai.setList(ov, removeByID(ai.mutable(ov), old.ID))
+		ai.setList(nv, insertByID(ai.mutable(nv), repl))
+	}
+}
+
+// indexApplyBatch folds one batch into every active attribute's posting
+// lists: per affected value a single ID-order merge, or a full rebuild of
+// the attribute when the churn rivals the database size.
+func (st *Store) indexApplyBatch(ins, delTuples []*schema.Tuple) {
+	churn := len(ins) + len(delTuples)
+	if churn == 0 {
+		return
+	}
+	for a, ai := range st.idx {
+		if ai == nil {
+			continue
+		}
+		if churn*4 >= len(st.tuples) {
+			st.idx[a] = buildAttrIndex(st.tuples, a)
+			continue
+		}
+		adds := make(map[uint16][]*schema.Tuple)
+		for _, t := range ins {
+			v := t.Vals[a]
+			adds[v] = append(adds[v], t)
+		}
+		rems := make(map[uint16]map[uint64]bool)
+		for _, t := range delTuples {
+			v := t.Vals[a]
+			if rems[v] == nil {
+				rems[v] = make(map[uint64]bool)
+			}
+			rems[v][t.ID] = true
+		}
+		touched := make(map[uint16]bool, len(adds)+len(rems))
+		for v := range adds {
+			touched[v] = true
+		}
+		for v := range rems {
+			touched[v] = true
+		}
+		for v := range touched {
+			add := adds[v]
+			sort.Slice(add, func(i, j int) bool { return add[i].ID < add[j].ID })
+			ai.setList(v, mergeByID(ai.lists[v], add, rems[v]))
+		}
+	}
+}
+
+// mergeByID merges an ID-sorted list with ID-sorted additions, dropping
+// the removed IDs, in one pass.
+func mergeByID(old, add []*schema.Tuple, rem map[uint64]bool) []*schema.Tuple {
+	out := make([]*schema.Tuple, 0, len(old)+len(add)-len(rem))
+	i, j := 0, 0
+	for i < len(old) || j < len(add) {
+		switch {
+		case i == len(old):
+			out = append(out, add[j])
+			j++
+		case rem[old[i].ID]:
+			i++
+		case j == len(add) || old[i].ID < add[j].ID:
+			out = append(out, old[i])
+			i++
+		default:
+			out = append(out, add[j])
+			j++
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Harness-side accessors
+// ---------------------------------------------------------------------
 
 // ForEach visits every live tuple in canonical order. fn must not mutate
 // the store. This is the harness's ground-truth access path.
@@ -239,59 +610,19 @@ func (st *Store) IDs() []uint64 {
 }
 
 // CountMatching returns |Sel(q)| exactly — ground truth only, never
-// exposed through the restricted interface.
+// exposed through the restricted interface. It shares the
+// index-accelerated answering paths with Search, using the published
+// snapshot when one exists and the ephemeral snapshot otherwise — it
+// never forces publication, so counting between mutations (the
+// constant-update model) does not trigger per-mutation copy-on-write.
 func (st *Store) CountMatching(q Query) int {
-	n := 0
-	lo, hi, full := st.rangeOf(q)
-	if full {
-		for _, t := range st.tuples {
-			if q.Matches(t, st.broadMatchNull) {
-				n++
-			}
-		}
-		return n
+	if s := st.snap.Load(); s != nil && s.version == st.version.Load() {
+		return s.CountMatching(q)
 	}
-	for _, t := range st.tuples[lo:hi] {
-		if q.Matches(t, st.broadMatchNull) {
-			n++
-		}
+	st.snapMu.Lock()
+	defer st.snapMu.Unlock()
+	if s := st.snap.Load(); s != nil && s.version == st.version.Load() {
+		return s.CountMatching(q)
 	}
-	return n
-}
-
-// rangeOf locates the contiguous slice of tuples matching the query's
-// canonical-order prefix. full=true means the whole store must be scanned
-// (no usable prefix, or NULL broad-match semantics break range pruning).
-func (st *Store) rangeOf(q Query) (lo, hi int, full bool) {
-	pl := q.prefixLen()
-	if pl == 0 || st.broadMatchNull {
-		return 0, len(st.tuples), true
-	}
-	prefix := make([]uint16, pl)
-	for i := 0; i < pl; i++ {
-		prefix[i] = q.preds[i].Val
-	}
-	lo = sort.Search(len(st.tuples), func(i int) bool {
-		return schema.CompareVals(st.tuples[i].Vals[:pl], prefix) >= 0
-	})
-	hi = sort.Search(len(st.tuples), func(i int) bool {
-		return schema.CompareVals(st.tuples[i].Vals[:pl], prefix) > 0
-	})
-	return lo, hi, false
-}
-
-// scanMatching yields tuples matching q, using the prefix range when
-// available. The remaining (non-prefix) predicates are applied as filters;
-// on a full scan every predicate is re-checked.
-func (st *Store) scanMatching(q Query, fn func(*schema.Tuple)) {
-	lo, hi, full := st.rangeOf(q)
-	restQ := q
-	if !full {
-		restQ = Query{preds: q.preds[q.prefixLen():]}
-	}
-	for _, t := range st.tuples[lo:hi] {
-		if len(restQ.preds) == 0 || restQ.Matches(t, st.broadMatchNull) {
-			fn(t)
-		}
-	}
+	return st.ephemeralLocked().CountMatching(q)
 }

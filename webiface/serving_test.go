@@ -1,0 +1,273 @@
+package webiface
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"github.com/dynagg/dynagg/internal/hiddendb"
+	"github.com/dynagg/dynagg/internal/workload"
+)
+
+// TestHandlerConcurrentClients drives 32 concurrent HTTP clients — raw
+// requests plus dialled webiface.Clients — against ONE handler over ONE
+// hiddendb.Iface. Run under -race (the CI race job covers ./webiface)
+// this locks in the snapshot-era concurrency contract: the serving path
+// shares a single interface across Go's per-request goroutines.
+func TestHandlerConcurrentClients(t *testing.T) {
+	env, srv := newServer(t, 31, 4000, 50)
+	local := hiddendb.NewIface(env.Store, 50, nil)
+
+	// Reference answers computed single-threaded.
+	queries := make([]hiddendb.Query, 16)
+	want := make([][]uint64, len(queries))
+	for i := range queries {
+		switch i % 3 {
+		case 0:
+			queries[i] = hiddendb.NewQuery(hiddendb.Pred{Attr: 0, Val: uint16(i % 4)})
+		case 1: // non-prefix: rides the posting lists
+			queries[i] = hiddendb.NewQuery(hiddendb.Pred{Attr: 7, Val: uint16(i % 3)})
+		default:
+			queries[i] = hiddendb.NewQuery(
+				hiddendb.Pred{Attr: 2, Val: uint16(i % 3)},
+				hiddendb.Pred{Attr: 5, Val: uint16(i % 2)},
+			)
+		}
+		r, err := local.Search(queries[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tu := range r.Tuples {
+			want[i] = append(want[i], tu.ID)
+		}
+	}
+
+	const clients = 32
+	const perClient = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			if c%4 == 0 {
+				// A full webiface.Client (schema dial + searches).
+				cl, err := Dial(srv.URL, ClientOptions{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				s := cl.NewSession(perClient)
+				for i := 0; i < perClient; i++ {
+					qi := (c + i) % len(queries)
+					res, err := s.Search(queries[qi])
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(res.Tuples) != len(want[qi]) {
+						errs <- fmt.Errorf("client %d: %d tuples, want %d", c, len(res.Tuples), len(want[qi]))
+						return
+					}
+					for j, tu := range res.Tuples {
+						if tu.ID != want[qi][j] {
+							errs <- fmt.Errorf("client %d: rank %d diverged", c, j)
+							return
+						}
+					}
+				}
+				return
+			}
+			// Raw HTTP requests.
+			for i := 0; i < perClient; i++ {
+				qi := (c + i) % len(queries)
+				u := srv.URL + "/search"
+				sep := "?"
+				for _, p := range queries[qi].Preds() {
+					u += fmt.Sprintf("%swhere=%d:%d", sep, p.Attr, p.Val)
+					sep = "&"
+				}
+				resp, err := srv.Client().Get(u)
+				if err != nil {
+					errs <- err
+					return
+				}
+				var wr wireResult
+				err = json.NewDecoder(resp.Body).Decode(&wr)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(wr.Tuples) != len(want[qi]) {
+					errs <- fmt.Errorf("client %d: %d tuples, want %d", c, len(wr.Tuples), len(want[qi]))
+					return
+				}
+				for j, tu := range wr.Tuples {
+					if tu.ID != want[qi][j] {
+						errs <- fmt.Errorf("client %d: rank %d diverged", c, j)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestHandlerServesAcrossRounds checks the freeze/update serving cycle:
+// concurrent clients search a frozen round, the (single) harness
+// goroutine applies updates at the round boundary, and the next round's
+// answers reflect them.
+func TestHandlerServesAcrossRounds(t *testing.T) {
+	data := workload.AutosLikeN(33, 3000, 8)
+	env, err := workload.NewEnv(data, 2500, 34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface := hiddendb.NewIface(env.Store, 40, nil)
+	h := NewHandler(iface)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %s (%s)", path, resp.Status, body)
+		}
+		return body
+	}
+
+	lastVersion := uint64(0)
+	for round := 0; round < 3; round++ {
+		var wg sync.WaitGroup
+		for c := 0; c < 32; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < 5; i++ {
+					get(fmt.Sprintf("/search?where=3:%d", (c+i)%3))
+				}
+			}(c)
+		}
+		wg.Wait()
+
+		var stats wireStats
+		if err := json.Unmarshal(get("/stats"), &stats); err != nil {
+			t.Fatal(err)
+		}
+		if round > 0 && stats.Version == lastVersion {
+			t.Fatalf("round %d: version did not advance past %d", round, lastVersion)
+		}
+		lastVersion = stats.Version
+
+		// Round boundary: the harness mutates alone.
+		if err := env.InsertFromPool(50); err != nil {
+			t.Fatal(err)
+		}
+		if err := env.DeleteFraction(0.01); err != nil {
+			t.Fatal(err)
+		}
+		h.ResetBudgets()
+	}
+}
+
+// TestHandlerPerKeyBudget checks the per-API-key budget accounting: each
+// key gets its own allowance, anonymous traffic shares one bucket, and
+// ResetBudgets opens the next round.
+func TestHandlerPerKeyBudget(t *testing.T) {
+	env, srv := newServer(t, 35, 2000, 20)
+	_ = env
+	// Rebuild with a budget (newServer installs no handler hooks).
+	data := workload.AutosLikeN(36, 2000, 8)
+	env2, err := workload.NewEnv(data, 1800, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(hiddendb.NewIface(env2.Store, 20, nil))
+	h.SetPerKeyBudget(3)
+	srv2 := httptest.NewServer(h)
+	defer srv2.Close()
+	srv.Close()
+
+	status := func(key string) int {
+		req, _ := http.NewRequest(http.MethodGet, srv2.URL+"/search?where=0:1", nil)
+		if key != "" {
+			req.Header.Set("X-API-Key", key)
+		}
+		resp, err := srv2.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	for i := 0; i < 3; i++ {
+		if got := status("alice"); got != http.StatusOK {
+			t.Fatalf("alice query %d: status %d", i, got)
+		}
+	}
+	if got := status("alice"); got != http.StatusTooManyRequests {
+		t.Fatalf("alice over budget: status %d, want 429", got)
+	}
+	// Bob has his own budget; anonymous traffic has its own bucket.
+	if got := status("bob"); got != http.StatusOK {
+		t.Fatalf("bob first query: status %d", got)
+	}
+	if got := status(""); got != http.StatusOK {
+		t.Fatalf("anonymous first query: status %d", got)
+	}
+	// A new round restores alice.
+	h.ResetBudgets()
+	if got := status("alice"); got != http.StatusOK {
+		t.Fatalf("alice after reset: status %d", got)
+	}
+	// The key= query parameter is an alias for the header.
+	resp, err := srv2.Client().Get(srv2.URL + "/search?where=0:1&key=bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bob via key param: status %d", resp.StatusCode)
+	}
+
+	// Malformed and duplicate-predicate requests get 400 and must NOT
+	// burn budget: dave sends three bad requests, then still has his
+	// full allowance of 3.
+	for _, bad := range []string{"where=nope", "where=0:1&where=0:2", "where=99:0"} {
+		resp, err := srv2.Client().Get(srv2.URL + "/search?" + bad + "&key=dave")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad request %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if got := status("dave"); got != http.StatusOK {
+			t.Fatalf("dave query %d after bad requests: status %d", i, got)
+		}
+	}
+	if got := status("dave"); got != http.StatusTooManyRequests {
+		t.Fatalf("dave over budget: status %d, want 429", got)
+	}
+}

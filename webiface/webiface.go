@@ -28,6 +28,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/dynagg/dynagg/internal/hiddendb"
@@ -64,12 +65,54 @@ type wireAttr struct {
 //
 //	GET /schema           → wireSchema
 //	GET /search?where=... → wireResult
+//	GET /stats            → wireStats
+//
+// A Handler is safe for concurrent use by any number of clients: queries
+// are answered against the interface's immutable snapshot of the current
+// round (hiddendb.Iface is concurrent-reader-safe), and the per-API-key
+// budget accounting below is guarded by its own mutex. Clients identify
+// themselves with an X-API-Key header (or key= query parameter); absent
+// both, they share the anonymous bucket.
 type Handler struct {
 	iface *hiddendb.Iface
+
+	mu           sync.Mutex
+	perKeyBudget int
+	used         map[string]int
 }
 
 // NewHandler wraps a search interface for serving.
-func NewHandler(iface *hiddendb.Iface) *Handler { return &Handler{iface: iface} }
+func NewHandler(iface *hiddendb.Iface) *Handler {
+	return &Handler{iface: iface, used: make(map[string]int)}
+}
+
+// SetPerKeyBudget caps the searches each API key may issue per round
+// (g <= 0 means unlimited — the default). Over-budget searches get HTTP
+// 429, modelling the database-imposed limit G of paper §2.1.
+func (h *Handler) SetPerKeyBudget(g int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.perKeyBudget = g
+}
+
+// ResetBudgets starts a new round: every key's budget is restored.
+func (h *Handler) ResetBudgets() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.used = make(map[string]int)
+}
+
+// consumeBudget charges one query to the given key, reporting whether the
+// key is still within budget.
+func (h *Handler) consumeBudget(key string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.perKeyBudget > 0 && h.used[key] >= h.perKeyBudget {
+		return false
+	}
+	h.used[key]++
+	return true
+}
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -78,9 +121,36 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.serveSchema(w)
 	case "/search":
 		h.serveSearch(w, r)
+	case "/stats":
+		h.serveStats(w)
 	default:
 		http.NotFound(w, r)
 	}
+}
+
+// wireStats is the JSON encoding of the serving diagnostics endpoint.
+// It deliberately omits |D| — the whole point of the hidden-database
+// model is that clients cannot read the size off the interface.
+type wireStats struct {
+	K       int    `json:"k"`
+	Queries uint64 `json:"queries"`
+	Version uint64 `json:"version"`
+}
+
+func (h *Handler) serveStats(w http.ResponseWriter) {
+	writeJSON(w, wireStats{
+		K:       h.iface.K(),
+		Queries: h.iface.TotalQueries(),
+		Version: h.iface.Version(),
+	})
+}
+
+// apiKey extracts the client's key from the request.
+func apiKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	return r.URL.Query().Get("key")
 }
 
 func (h *Handler) serveSchema(w http.ResponseWriter) {
@@ -95,6 +165,7 @@ func (h *Handler) serveSchema(w http.ResponseWriter) {
 
 func (h *Handler) serveSearch(w http.ResponseWriter, r *http.Request) {
 	var preds []hiddendb.Pred
+	seen := make(map[int]bool)
 	for _, raw := range r.URL.Query()["where"] {
 		attr, val, err := parsePred(raw)
 		if err != nil {
@@ -105,7 +176,20 @@ func (h *Handler) serveSearch(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, fmt.Sprintf("unknown attribute %d", attr), http.StatusBadRequest)
 			return
 		}
+		if seen[attr] {
+			// NewQuery panics on duplicates (trusted-caller API); reject
+			// untrusted wire input before it gets there.
+			http.Error(w, fmt.Sprintf("duplicate predicate on attribute %d", attr), http.StatusBadRequest)
+			return
+		}
+		seen[attr] = true
 		preds = append(preds, hiddendb.Pred{Attr: attr, Val: val})
+	}
+	// Charge the budget only for well-formed queries: a request rejected
+	// at parse time was never answered, so it must not burn a unit of G.
+	if !h.consumeBudget(apiKey(r)) {
+		http.Error(w, "per-round query budget exhausted", http.StatusTooManyRequests)
+		return
 	}
 	res, err := h.iface.Search(hiddendb.NewQuery(preds...))
 	if err != nil {
@@ -165,7 +249,9 @@ type ClientOptions struct {
 	Parse ParseFunc
 }
 
-// Client is a hiddendb.Searcher over HTTP.
+// Client is a hiddendb.Searcher over HTTP. Like every estimator-side
+// capability it is single-goroutine (the rate limiter below is
+// unsynchronised); concurrent clients each dial their own.
 type Client struct {
 	base   string
 	sch    *schema.Schema
