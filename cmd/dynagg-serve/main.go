@@ -17,9 +17,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	dynagg "github.com/dynagg/dynagg"
@@ -53,12 +58,22 @@ func main() {
 	h := webiface.NewHandler(iface)
 	h.SetPerKeyBudget(*budget)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *round > 0 {
 		// The single mutator goroutine: the store's snapshot isolation
 		// lets it apply updates while clients keep reading the previous
 		// version.
 		go func() {
-			for range time.Tick(*round) {
+			t := time.NewTicker(*round)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+				}
 				if err := env.InsertFromPool(*insert); err != nil {
 					log.Printf("round churn: %v", err)
 				}
@@ -72,7 +87,22 @@ func main() {
 		}()
 	}
 
+	srv := &http.Server{Addr: *addr, Handler: h}
+	go func() {
+		// SIGINT/SIGTERM: stop accepting, drain in-flight requests for up
+		// to 10s, then exit. Clients mid-search get their answers.
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
 	log.Printf("serving %d-tuple hidden database on %s (k=%d, m=%d, budget=%d, round=%s)",
 		env.Store.Size(), *addr, *k, *m, *budget, *round)
-	log.Fatal(http.ListenAndServe(*addr, h))
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Printf("drained; bye (served %d queries)", iface.TotalQueries())
 }

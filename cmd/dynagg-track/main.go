@@ -1,0 +1,157 @@
+// Command dynagg-track runs the continuous tracking service: it attaches
+// one estimator to a live hidden database — a local simulated store with
+// churn, or a remote dynagg-serve URL — advances it one budgeted round
+// per -round tick, checkpoints estimator state for crash/resume, and
+// serves current estimates and round statistics over HTTP.
+//
+// Usage examples:
+//
+//	dynagg-track                                        # local sim, RS, round every 10s
+//	dynagg-track -remote http://db:8080 -budget 500 \
+//	    -round 1h -checkpoint /var/lib/dynagg/track.ckpt
+//	dynagg-track -algo REISSUE -workers 8 -rounds 100    # bounded run
+//
+// While running:
+//
+//	curl localhost:8090/status     # round, budget, queries, estimates
+//	curl localhost:8090/estimates
+//	curl localhost:8090/healthz
+//
+// Interrupting the process (SIGINT/SIGTERM) drains the status server and
+// exits cleanly; with -checkpoint set, restarting resumes the drill-down
+// pool from the last completed round instead of rebuilding it.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	dynagg "github.com/dynagg/dynagg"
+	"github.com/dynagg/dynagg/internal/tracking"
+	"github.com/dynagg/dynagg/webiface"
+)
+
+func main() {
+	var (
+		remote     = flag.String("remote", "", "remote dynagg-serve base URL (empty = local simulation)")
+		addr       = flag.String("addr", ":8090", "status HTTP listen address (empty = disabled)")
+		algo       = flag.String("algo", "RS", "estimator: RESTART, REISSUE or RS")
+		budget     = flag.Int("budget", 500, "per-round query budget G (0 = unlimited, local only)")
+		round      = flag.Duration("round", 10*time.Second, "round cadence")
+		rounds     = flag.Int("rounds", 0, "stop after this many rounds (0 = run until interrupted)")
+		checkpoint = flag.String("checkpoint", "", "checkpoint file; written after every round, resumed on start")
+		workers    = flag.Int("workers", 0, "concurrent drill-down walks per round (0 = DYNAGG_ESTIMATOR_WORKERS or sequential); estimates are identical for every value")
+		seed       = flag.Int64("seed", 1, "random seed")
+		maxDrills  = flag.Int("max-drills", 2000, "drill-down pool cap (0 = unbounded; unwise for long runs)")
+		delta      = flag.Bool("delta", false, "RS: optimise the trans-round delta")
+
+		// Local simulation knobs (ignored with -remote).
+		n      = flag.Int("n", 40000, "local sim: dataset size")
+		m      = flag.Int("m", 12, "local sim: attributes (<=38)")
+		k      = flag.Int("k", 250, "local sim: interface top-k cap")
+		init0  = flag.Int("initial", 0, "local sim: initial database size (default 90% of n)")
+		insert = flag.Int("insert", 300, "local sim: tuples inserted per round")
+		del    = flag.Float64("delete", 0.001, "local sim: fraction deleted per round")
+
+		// Remote client knobs.
+		minInterval = flag.Duration("min-interval", 0, "remote: minimum spacing between requests")
+		reqTimeout  = flag.Duration("timeout", 15*time.Second, "remote: per-request timeout")
+		apiKey      = flag.String("key", "", "remote: X-API-Key for server-side budget accounting")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := tracking.Config{
+		Algorithm:      *algo,
+		Aggregates:     []*dynagg.Aggregate{dynagg.CountAll()},
+		Budget:         *budget,
+		Interval:       *round,
+		Seed:           *seed,
+		Parallelism:    *workers,
+		DeltaTarget:    *delta,
+		MaxDrills:      *maxDrills,
+		CheckpointPath: *checkpoint,
+		MaxRounds:      *rounds,
+	}
+
+	var svc *tracking.Service
+	var err error
+	if *remote != "" {
+		var c *webiface.Client
+		c, err = webiface.Dial(*remote, webiface.ClientOptions{
+			MinInterval:    *minInterval,
+			RequestTimeout: *reqTimeout,
+			APIKey:         *apiKey,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		svc, err = tracking.New(c.Schema(),
+			func(g int) tracking.Session { return c.NewSession(g) }, cfg)
+	} else {
+		if *init0 == 0 {
+			*init0 = *n * 9 / 10
+		}
+		data := dynagg.AutosLikeN(*seed+100, *n, *m)
+		env, eerr := dynagg.NewEnv(data, *init0, *seed+101)
+		if eerr != nil {
+			log.Fatal(eerr)
+		}
+		iface := dynagg.NewIface(env.Store, *k, nil)
+		cfg.PreRound = func(round int) error {
+			if round == 1 {
+				return nil
+			}
+			if err := env.InsertFromPool(*insert); err != nil {
+				return err
+			}
+			if err := env.DeleteFraction(*del); err != nil {
+				return err
+			}
+			log.Printf("churn: |D|=%d version=%d", env.Store.Size(), env.Store.Version())
+			return nil
+		}
+		svc, err = tracking.New(iface.Schema(),
+			func(g int) tracking.Session { return iface.NewSession(g) }, cfg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if svc.Resumed() {
+		log.Printf("resumed from %s at round %d", *checkpoint, svc.CurrentView().Round)
+	}
+
+	if *addr != "" {
+		srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+		go func() {
+			log.Printf("status on %s (/status /estimates /healthz)", *addr)
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("status server: %v", err)
+			}
+		}()
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(sctx)
+		}()
+	}
+
+	log.Printf("tracking with %s every %s (G=%d, workers=%d)", *algo, *round, *budget, *workers)
+	if err := svc.Run(ctx); err != nil {
+		log.Fatal(err)
+	}
+	v := svc.CurrentView()
+	log.Printf("stopped at round %d (%d drill downs); last estimates:", v.Round, v.Drills)
+	for _, e := range v.Estimates {
+		log.Printf("  %s = %.1f (variance %.3g, %d drills)", e.Aggregate, e.Value, e.Variance, e.Drills)
+	}
+}

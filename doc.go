@@ -64,10 +64,25 @@
 //     mutator goroutine may apply the next round's updates while they
 //     do (mutations are serialised internally and never touch published
 //     snapshots).
-//   - Still single-goroutine: a Session (budget accounting), a Tracker,
-//     every estimator, Env, Dataset, webiface.Client and every
-//     rand.Rand belong to one goroutine. Concurrency comes from many
-//     sessions over one Iface, never from sharing a session.
+//   - Plan/execute inside a round: every estimator Step first PLANS its
+//     drill-down walks — drawing all randomness from its rand.Rand up
+//     front, one goroutine — and then an execution engine issues the
+//     planned walks concurrently (TrackerOptions.Parallelism /
+//     estimator.Config.Parallelism / DYNAGG_ESTIMATOR_WORKERS), applying
+//     results in drill-index order. A wave of walks is admitted only
+//     when its worst-case cost fits the remaining budget, and the tail
+//     runs one walk at a time with everything left, so estimates are
+//     byte-identical for every worker count. Sessions carry atomic
+//     budget accounting for exactly this bounded fan-out: one Session
+//     (local or webiface) may be shared by the walk goroutines of ONE
+//     Step. Sessions that cannot be searched concurrently — a pre-search
+//     hook couples query order to mutation (constant-update model), or
+//     the client-cache ablation is on — report so and are served
+//     sequentially.
+//   - Still single-goroutine: a Tracker, every estimator (only its
+//     internal engine fans out), Env, Dataset and every rand.Rand belong
+//     to one goroutine. Do not share one session across estimators or
+//     across rounds.
 //
 // The unit of parallelism for experiments remains one independent
 // Monte-Carlo TRIAL: the harness (internal/experiments) runs each trial
@@ -75,10 +90,21 @@
 // deterministically from seed+trialIndex, and aggregates results by
 // trial index, so a parallel run is byte-identical to a sequential one
 // with the same seed (Options.Workers, default one per core).
-// Immutable-after-construction values — schema.Schema, querytree.Tree,
-// every published Snapshot — may be shared freely. The contract is
-// enforced by a race-detector CI job (make race) covering the engine,
-// the experiment harness and the HTTP serving layer.
+// Options.Parallelism adds the intra-trial axis on top: each trial's
+// estimator fans its drill-down issuance out without changing a digit
+// of any figure. Immutable-after-construction values — schema.Schema,
+// querytree.Tree, every published Snapshot — may be shared freely. The
+// contract is enforced by a race-detector CI job (make race) covering
+// the engine, the estimator executor, the tracking service, the
+// experiment harness and the HTTP serving layer.
+//
+// # Continuous tracking
+//
+// internal/tracking + cmd/dynagg-track run an estimator as a long-lived
+// service over a live database (local store with churn or a remote
+// dynagg-serve URL): one budgeted round per tick, crash/resume via the
+// estimator persistence snapshots, and current estimates served over
+// HTTP (/status, /estimates, /healthz).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record of every reproduced figure.

@@ -187,6 +187,12 @@ type TrackerOptions struct {
 	// NULL-valued tuples for any predicate on that attribute (§5); the
 	// estimators then apply the matching probability correction.
 	BroadMatchNull bool
+	// Parallelism bounds how many of a round's planned drill-down walks
+	// the estimator issues concurrently against the session (0 reads
+	// DYNAGG_ESTIMATOR_WORKERS, defaulting to sequential). Estimates are
+	// byte-identical for every value; sessions that are not safe for
+	// concurrent searching are served sequentially regardless.
+	Parallelism int
 }
 
 // BudgetedSession is the per-round query capability a Tracker consumes:
@@ -238,6 +244,7 @@ func NewTrackerWithSource(sch *Schema, source SessionSource, aggs []*Aggregate, 
 		RetainTuples:   opts.RetainTuples,
 		ClientCache:    opts.ClientCache,
 		MaxDrills:      opts.MaxDrills,
+		Parallelism:    opts.Parallelism,
 		BroadMatchNull: opts.BroadMatchNull,
 	}
 	algo := opts.Algorithm
@@ -320,6 +327,7 @@ func LoadTracker(r io.Reader, iface *Iface, aggs []*Aggregate, opts TrackerOptio
 		RetainTuples:   opts.RetainTuples,
 		ClientCache:    opts.ClientCache,
 		MaxDrills:      opts.MaxDrills,
+		Parallelism:    opts.Parallelism,
 		BroadMatchNull: opts.BroadMatchNull,
 	}
 	est, err := estimator.Load(r, iface.Schema(), aggs, cfg)

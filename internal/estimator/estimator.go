@@ -15,12 +15,20 @@
 // All estimators track one or more aggregates over the same drill-down
 // pool and expose both single-round estimates and the trans-round delta
 // Q(D_j) − Q(D_{j-1}).
+//
+// Every Step is split into deterministic PLANNING (ordered batches of
+// drill-down walks, all randomness drawn up front from Config.Rand) and
+// EXECUTION (exec.go), which may issue a batch's walks concurrently
+// against a concurrent-safe session (Config.Parallelism). Estimates are
+// byte-identical for every worker count.
 package estimator
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
 
 	"github.com/dynagg/dynagg/internal/agg"
 	"github.com/dynagg/dynagg/internal/hiddendb"
@@ -53,11 +61,25 @@ type Config struct {
 	// probability is |Ui| times higher and its Horvitz–Thompson weight
 	// must be divided accordingly.
 	BroadMatchNull bool
+	// Parallelism bounds how many of a round's planned drill-down walks
+	// the execution engine (exec.go) issues concurrently against the
+	// session. 0 reads DYNAGG_ESTIMATOR_WORKERS, defaulting to 1
+	// (sequential). Estimates are byte-identical for every value; the
+	// engine silently falls back to 1 when the session is not safe for
+	// concurrent Search calls or ClientCache is on.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
 	if c.Pilot <= 0 {
 		c.Pilot = 10
+	}
+	if c.Parallelism <= 0 {
+		if v, _ := strconv.Atoi(os.Getenv("DYNAGG_ESTIMATOR_WORKERS")); v > 0 {
+			c.Parallelism = v
+		} else {
+			c.Parallelism = 1
+		}
 	}
 	return c
 }
@@ -292,35 +314,6 @@ func (b *base) nullWeight(t *schema.Tuple, depth int) float64 {
 		}
 	}
 	return w
-}
-
-// freshDrill performs one from-root drill down and returns the resulting
-// drill record and its query cost. A budget error is passed through.
-func (b *base) freshDrill(s hiddendb.Searcher, round int) (*drill, int, error) {
-	sig := b.tree.RandomSignature(b.cfg.Rand)
-	o, err := querytree.DrillFromRoot(s, b.tree, sig)
-	if err != nil {
-		return nil, o.Cost, err
-	}
-	b.drills++
-	return &drill{sig: sig, cur: b.contributionOf(round, o)}, o.Cost, nil
-}
-
-// updateDrill refreshes d in place for the given round, returning the
-// query cost. On budget exhaustion the drill keeps its previous state and
-// the error is returned.
-func (b *base) updateDrill(s hiddendb.Searcher, d *drill, round int) (int, error) {
-	o, err := querytree.UpdateDrill(s, b.tree, d.sig, d.cur.depth)
-	if err != nil {
-		return o.Cost, err
-	}
-	b.drills++
-	if b.cfg.RetainTuples && d.prev.round != 0 {
-		d.hist = append(d.hist, d.prev)
-	}
-	d.prev = d.cur
-	d.cur = b.contributionOf(round, o)
-	return o.Cost, nil
 }
 
 // meanEstimate averages the scaled contributions of the given drills for

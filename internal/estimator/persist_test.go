@@ -2,7 +2,9 @@ package estimator
 
 import (
 	"bytes"
+	"fmt"
 	"math"
+	"math/rand"
 	"testing"
 
 	"github.com/dynagg/dynagg/internal/agg"
@@ -152,6 +154,128 @@ func TestLoadValidation(t *testing.T) {
 	if _, err := Load(bytes.NewReader([]byte("junk")), te.env.Store.Schema(),
 		[]*agg.Aggregate{agg.CountAll()}, cfg(323)); err == nil {
 		t.Error("garbage snapshot accepted")
+	}
+}
+
+// swapRand replaces the estimator's round RNG mid-run, simulating the
+// fresh Config.Rand a Load gets (the snapshot never carries RNG state).
+func swapRand(t *testing.T, e Estimator, seed int64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	switch v := e.(type) {
+	case *Restart:
+		v.cfg.Rand = r
+	case *Reissue:
+		v.cfg.Rand = r
+	case *RS:
+		v.cfg.Rand = r
+	default:
+		t.Fatalf("unknown estimator %T", e)
+	}
+}
+
+// TestCheckpointResumeByteIdenticalUnderExecutor is the crash/resume
+// guarantee the tracking service relies on: a run that checkpoints after
+// round 2 and resumes in a NEW estimator — continuing under the
+// concurrent executor — produces byte-identical per-round estimates to a
+// run that never stopped, for all three estimators and for every
+// executor parallelism. (Both runs switch to the same fresh RNG at the
+// boundary, since persistence deliberately does not serialise RNG state.)
+func TestCheckpointResumeByteIdenticalUnderExecutor(t *testing.T) {
+	const (
+		seed             = 9100
+		preRounds        = 2
+		postRounds       = 3
+		g                = 250
+		boundarySeed     = 5511
+		churnIns         = 180
+		churnDelFraction = 0.01
+	)
+	aggs := func() []*agg.Aggregate { return []*agg.Aggregate{agg.CountAll()} }
+	churn := func(t *testing.T, te *testEnv) {
+		t.Helper()
+		if err := te.env.InsertFromPool(churnIns); err != nil {
+			t.Fatal(err)
+		}
+		if err := te.env.DeleteFraction(churnDelFraction); err != nil {
+			t.Fatal(err)
+		}
+	}
+	build := func(t *testing.T, algo string, te *testEnv) Estimator {
+		t.Helper()
+		var e Estimator
+		var err error
+		switch algo {
+		case "RESTART":
+			e, err = NewRestart(te.env.Store.Schema(), aggs(), cfg(seed+1))
+		case "REISSUE":
+			e, err = NewReissue(te.env.Store.Schema(), aggs(), cfg(seed+1))
+		case "RS":
+			e, err = NewRS(te.env.Store.Schema(), aggs(), cfg(seed+1))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	for _, algo := range []string{"RESTART", "REISSUE", "RS"} {
+		t.Run(algo, func(t *testing.T) {
+			// Uninterrupted reference run (sequential executor).
+			teA := newTestEnv(t, seed, 12000, 10500, 100)
+			eA := build(t, algo, teA)
+			for round := 1; round <= preRounds; round++ {
+				if round > 1 {
+					churn(t, teA)
+				}
+				if err := eA.Step(teA.iface.NewSession(g)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			swapRand(t, eA, boundarySeed)
+			var want []stepRecord
+			for round := 0; round < postRounds; round++ {
+				churn(t, teA)
+				if err := eA.Step(teA.iface.NewSession(g)); err != nil {
+					t.Fatal(err)
+				}
+				want = append(want, recordStep(eA, 1))
+			}
+
+			// Interrupted runs: same prefix, Save, Load into a fresh
+			// estimator, continue at parallelism 1 and 4.
+			for _, par := range []int{1, 4} {
+				teB := newTestEnv(t, seed, 12000, 10500, 100)
+				eB := build(t, algo, teB)
+				for round := 1; round <= preRounds; round++ {
+					if round > 1 {
+						churn(t, teB)
+					}
+					if err := eB.Step(teB.iface.NewSession(g)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				var buf bytes.Buffer
+				if err := Save(eB, &buf); err != nil {
+					t.Fatal(err)
+				}
+				lcfg := cfg(boundarySeed)
+				lcfg.Parallelism = par
+				resumed, err := Load(&buf, teB.env.Store.Schema(), aggs(), lcfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var got []stepRecord
+				for round := 0; round < postRounds; round++ {
+					churn(t, teB)
+					if err := resumed.Step(teB.iface.NewSession(g)); err != nil {
+						t.Fatal(err)
+					}
+					got = append(got, recordStep(resumed, 1))
+				}
+				compareRuns(t, fmt.Sprintf("%s resume par=%d", algo, par), want, got)
+			}
+		})
 	}
 }
 

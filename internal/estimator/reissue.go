@@ -3,6 +3,7 @@ package estimator
 import (
 	"github.com/dynagg/dynagg/internal/agg"
 	"github.com/dynagg/dynagg/internal/hiddendb"
+	"github.com/dynagg/dynagg/internal/querytree"
 	"github.com/dynagg/dynagg/internal/schema"
 )
 
@@ -27,39 +28,35 @@ func NewReissue(sch *schema.Schema, aggs []*agg.Aggregate, cfg Config) (*Reissue
 
 // Step runs one round: update every previous drill down (random order, so
 // a mid-round budget death does not systematically favour old signatures),
-// then spend the remainder on new drill downs.
+// then spend the remainder on new drill downs. Each phase is planned up
+// front and handed to the execution engine (exec.go), which may issue the
+// walks concurrently without changing any estimate.
 func (r *Reissue) Step(sess Session) error {
 	r.round++
 	startUsed := sess.Used()
 	s := r.searcher(sess)
 
-	budgetDead := false
-
 	// Phase 1: update all previous drill downs.
 	order := r.cfg.Rand.Perm(len(r.pool))
-	for _, idx := range order {
-		if _, err := r.updateDrill(s, r.pool[idx], r.round); err != nil {
-			if errIsBudget(err) {
-				budgetDead = true
-				break
-			}
-			return err
-		}
+	ops := make([]drillOp, len(order))
+	for i, idx := range order {
+		ops[i] = r.planUpdate(r.pool[idx])
+	}
+	results := r.runPlan(sess, s, ops)
+	budgetDead, err := applyResults(ops, results, func(i int, o querytree.Outcome) {
+		r.applyUpdate(ops[i].d, o, r.round)
+	})
+	if err != nil {
+		return err
 	}
 
 	// Phase 2: new drill downs with the remaining budget.
-	for !budgetDead {
-		if r.cfg.MaxDrills > 0 && len(r.pool) >= r.cfg.MaxDrills {
-			break
-		}
-		d, _, err := r.freshDrill(s, r.round)
-		if err != nil {
-			if errIsBudget(err) {
-				break
-			}
+	if !budgetDead {
+		if _, err := r.runFreshPhase(sess, s,
+			func() int { return len(r.pool) },
+			func(d *drill) { r.pool = append(r.pool, d) }); err != nil {
 			return err
 		}
-		r.pool = append(r.pool, d)
 	}
 	r.used = sess.Used() - startUsed
 

@@ -31,24 +31,19 @@ func NewRestart(sch *schema.Schema, aggs []*agg.Aggregate, cfg Config) (*Restart
 }
 
 // Step runs one round: independent drill downs until the budget dies.
+// The round is planned and executed in batches (exec.go), so the walks
+// may be issued concurrently without changing any estimate.
 func (r *Restart) Step(sess Session) error {
 	r.round++
 	startUsed := sess.Used()
 	s := r.searcher(sess)
 
 	var drills []*drill
-	for {
-		if r.cfg.MaxDrills > 0 && len(drills) >= r.cfg.MaxDrills {
-			break
-		}
-		d, _, err := r.freshDrill(s, r.round)
-		if err != nil {
-			if errIsBudget(err) {
-				break
-			}
-			return err
-		}
-		drills = append(drills, d)
+	_, err := r.runFreshPhase(sess, s,
+		func() int { return len(drills) },
+		func(d *drill) { drills = append(drills, d) })
+	if err != nil {
+		return err
 	}
 	r.used = sess.Used() - startUsed
 

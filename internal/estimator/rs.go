@@ -6,6 +6,7 @@ import (
 
 	"github.com/dynagg/dynagg/internal/agg"
 	"github.com/dynagg/dynagg/internal/hiddendb"
+	"github.com/dynagg/dynagg/internal/querytree"
 	"github.com/dynagg/dynagg/internal/schema"
 	"github.com/dynagg/dynagg/internal/stats"
 )
@@ -193,47 +194,42 @@ func (r *RS) Step(sess Session) error {
 
 	// Phase 1: pilots. Budget a fraction of G for bootstrapping so that
 	// late rounds with many groups cannot starve the execution phase.
+	// The whole pilot pass is planned up front (pilot sets sampled
+	// without replacement via Fisher-Yates prefixes, fresh signatures
+	// drawn in group order) and handed to the execution engine, which
+	// may issue the walks concurrently without changing any estimate.
 	pilot := r.cfg.Pilot
 	if g := sess.Budget(); g > 0 && pilot*len(groups) > g/3 {
 		pilot = maxInt(1, g/(3*len(groups)))
 	}
+	var ops []drillOp
+	var opGrp []*rsGroup
 	for _, grp := range groups {
-		if budgetDead {
-			break
-		}
 		n := pilot
 		if grp.key != newGroupKey {
 			n = minInt(n, len(grp.members))
-			// Sample pilot members without replacement (Fisher-Yates
-			// prefix); the chosen prefix becomes the pilot set.
 			r.shufflePrefix(grp.members, n)
-		}
-		for i := 0; i < n; i++ {
-			var cost int
-			var err error
-			if grp.key == newGroupKey {
-				var d *drill
-				d, cost, err = r.freshDrill(s, r.round)
-				if err == nil {
-					r.pool = append(r.pool, d)
-					grp.updated = append(grp.updated, d)
-				}
-			} else {
-				d := grp.members[i]
-				cost, err = r.updateDrill(s, d, r.round)
-				if err == nil {
-					grp.updated = append(grp.updated, d)
-				}
+			for i := 0; i < n; i++ {
+				ops = append(ops, r.planUpdate(grp.members[i]))
+				opGrp = append(opGrp, grp)
 			}
-			if err != nil {
-				if errIsBudget(err) {
-					budgetDead = true
-					break
-				}
-				return err
+		} else {
+			for i := 0; i < n; i++ {
+				ops = append(ops, r.planFresh())
+				opGrp = append(opGrp, grp)
 			}
-			grp.costs = append(grp.costs, float64(cost))
 		}
+	}
+	results := r.runPlan(sess, s, ops)
+	var err error
+	budgetDead, err = applyResults(ops, results, func(i int, o querytree.Outcome) {
+		grp := r.applyPlanned(&ops[i], opGrp[i], o)
+		grp.costs = append(grp.costs, float64(o.Cost))
+	})
+	if err != nil {
+		return err
+	}
+	for _, grp := range groups {
 		if grp.key != newGroupKey {
 			grp.members = grp.members[len(grp.updated):]
 		}
@@ -250,7 +246,9 @@ func (r *RS) Step(sess Session) error {
 	}
 	if !budgetDead {
 		r.allocate(groups, float64(sess.Remaining()))
-		r.execute(s, groups, &budgetDead)
+		if err := r.execute(sess, s, groups, &budgetDead); err != nil {
+			return err
+		}
 	}
 	r.used = sess.Used() - startUsed
 
@@ -424,37 +422,36 @@ func (r *RS) allocate(groups []*rsGroup, budget float64) {
 }
 
 // execute runs the allocated updates/new drills in random order until the
-// plan completes or the budget dies (Algorithm 2's pooled execution).
-func (r *RS) execute(s hiddendb.Searcher, groups []*rsGroup, budgetDead *bool) {
-	type task struct{ grp *rsGroup }
-	var tasks []task
+// plan completes or the budget dies (Algorithm 2's pooled execution). The
+// task order is shuffled and every random choice (fresh signatures,
+// member pops) drawn at plan time, so the execution engine may issue the
+// walks concurrently without changing any estimate.
+func (r *RS) execute(sess Session, s hiddendb.Searcher, groups []*rsGroup, budgetDead *bool) error {
+	var order []*rsGroup
 	for _, grp := range groups {
 		extra := grp.want - len(grp.updated)
 		if grp.key != newGroupKey {
 			extra = minInt(extra, len(grp.members))
 		}
 		for i := 0; i < extra; i++ {
-			tasks = append(tasks, task{grp: grp})
+			order = append(order, grp)
 		}
 	}
-	r.cfg.Rand.Shuffle(len(tasks), func(i, j int) { tasks[i], tasks[j] = tasks[j], tasks[i] })
+	r.cfg.Rand.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 
-	for _, t := range tasks {
-		grp := t.grp
+	// Plan: pool growth is simulated so the MaxDrills cap sees exactly
+	// what sequential execution would (apply order == plan order).
+	poolLen := len(r.pool)
+	var ops []drillOp
+	var opGrp []*rsGroup
+	for _, grp := range order {
 		if grp.key == newGroupKey {
-			if r.cfg.MaxDrills > 0 && len(r.pool) >= r.cfg.MaxDrills {
+			if r.cfg.MaxDrills > 0 && poolLen >= r.cfg.MaxDrills {
 				continue
 			}
-			d, _, err := r.freshDrill(s, r.round)
-			if err != nil {
-				if errIsBudget(err) {
-					*budgetDead = true
-					return
-				}
-				return
-			}
-			r.pool = append(r.pool, d)
-			grp.updated = append(grp.updated, d)
+			ops = append(ops, r.planFresh())
+			opGrp = append(opGrp, grp)
+			poolLen++
 			continue
 		}
 		if len(grp.members) == 0 {
@@ -465,15 +462,33 @@ func (r *RS) execute(s hiddendb.Searcher, groups []*rsGroup, budgetDead *bool) {
 		d := grp.members[j]
 		grp.members[j] = grp.members[len(grp.members)-1]
 		grp.members = grp.members[:len(grp.members)-1]
-		if _, err := r.updateDrill(s, d, r.round); err != nil {
-			if errIsBudget(err) {
-				*budgetDead = true
-				return
-			}
-			return
-		}
-		grp.updated = append(grp.updated, d)
+		ops = append(ops, r.planUpdate(d))
+		opGrp = append(opGrp, grp)
 	}
+
+	results := r.runPlan(sess, s, ops)
+	dead, err := applyResults(ops, results, func(i int, o querytree.Outcome) {
+		r.applyPlanned(&ops[i], opGrp[i], o)
+	})
+	if dead {
+		*budgetDead = true
+	}
+	return err
+}
+
+// applyPlanned folds one completed walk into its RS group: a fresh drill
+// joins the pool, an update refreshes its drill; either way the drill
+// counts as refreshed this round.
+func (r *RS) applyPlanned(op *drillOp, grp *rsGroup, o querytree.Outcome) *rsGroup {
+	if op.d == nil {
+		d := r.applyFresh(op, o, r.round)
+		r.pool = append(r.pool, d)
+		grp.updated = append(grp.updated, d)
+	} else {
+		r.applyUpdate(op.d, o, r.round)
+		grp.updated = append(grp.updated, op.d)
+	}
+	return grp
 }
 
 // groupPart is one group's contribution to the combined estimate, split

@@ -53,7 +53,7 @@ func Fig4(opt Options) (*Figure, error) {
 				return nil, err
 			}
 			iface := hiddendb.NewIface(env.Store, p.k, nil)
-			cfg := estimator.Config{Rand: rand.New(rand.NewSource(dataSeed + rngSeedOffset))}
+			cfg := estimator.Config{Rand: rand.New(rand.NewSource(dataSeed + rngSeedOffset)), Parallelism: opt.Parallelism}
 			est, err := newEstimator(m.algo, env.Store.Schema(), countAggs(env.Store.Schema()), cfg, nil)
 			if err != nil {
 				return nil, err

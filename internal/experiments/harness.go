@@ -58,16 +58,25 @@ type Options struct {
 	// Results are aggregated by trial index, so every figure is
 	// byte-identical across Workers values for the same Seed.
 	Workers int
+	// Parallelism is the intra-trial bound: how many of one round's
+	// planned drill-down walks each estimator issues concurrently
+	// (estimator.Config.Parallelism; 0 = DYNAGG_ESTIMATOR_WORKERS or
+	// sequential). Estimates — and therefore figures — are byte-identical
+	// across values; constant-update figures fall back to sequential
+	// automatically (their sessions carry a pre-search hook).
+	Parallelism int
 }
 
-// DefaultOptions reads DYNAGG_FULL_SCALE and DYNAGG_WORKERS from the
-// environment.
+// DefaultOptions reads DYNAGG_FULL_SCALE, DYNAGG_WORKERS and
+// DYNAGG_ESTIMATOR_WORKERS from the environment.
 func DefaultOptions() Options {
 	workers, _ := strconv.Atoi(os.Getenv("DYNAGG_WORKERS"))
+	estWorkers, _ := strconv.Atoi(os.Getenv("DYNAGG_ESTIMATOR_WORKERS"))
 	return Options{
-		Seed:      1,
-		FullScale: os.Getenv("DYNAGG_FULL_SCALE") == "1",
-		Workers:   workers,
+		Seed:        1,
+		FullScale:   os.Getenv("DYNAGG_FULL_SCALE") == "1",
+		Workers:     workers,
+		Parallelism: estWorkers,
 	}
 }
 
@@ -330,8 +339,9 @@ func runTrackingTrial(spec TrackSpec, opt Options, trial int) (*trackTrial, erro
 		}
 		iface := hiddendb.NewIface(env.Store, spec.K, nil)
 		cfg := estimator.Config{
-			Rand:  rand.New(rand.NewSource(dataSeed + rngSeedOffset)),
-			Pilot: spec.Pilot,
+			Rand:        rand.New(rand.NewSource(dataSeed + rngSeedOffset)),
+			Pilot:       spec.Pilot,
+			Parallelism: opt.Parallelism,
 		}
 		est, err := newEstimator(a, env.Store.Schema(), spec.Aggs(env.Store.Schema()), cfg, spec.RSOpts)
 		if err != nil {

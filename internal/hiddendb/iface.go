@@ -202,38 +202,89 @@ func (f *Iface) searchSnapshot(snap *Snapshot, q Query) Result {
 	return r
 }
 
+// BudgetCounter is the atomic claim-before-issue accounting of a round's
+// query budget G, shared by every Session implementation (local and
+// webiface): a query is charged by Claim before it is issued, and a
+// failed claim IS the round's budget death. Safe for the estimator
+// execution engine's bounded fan-out.
+type BudgetCounter struct {
+	g    int // <= 0 means unlimited
+	used atomic.Int64
+}
+
+// NewBudgetCounter starts a round's accounting (g <= 0 = unlimited).
+func NewBudgetCounter(g int) *BudgetCounter { return &BudgetCounter{g: g} }
+
+// Claim charges one query, returning its 0-based index and whether the
+// budget allowed it.
+func (b *BudgetCounter) Claim() (int, bool) {
+	if b.g <= 0 {
+		return int(b.used.Add(1) - 1), true
+	}
+	for {
+		u := b.used.Load()
+		if u >= int64(b.g) {
+			return 0, false
+		}
+		if b.used.CompareAndSwap(u, u+1) {
+			return int(u), true
+		}
+	}
+}
+
+// Used returns the queries claimed so far.
+func (b *BudgetCounter) Used() int { return int(b.used.Load()) }
+
+// Remaining returns the unclaimed budget (negative when unlimited).
+func (b *BudgetCounter) Remaining() int {
+	if b.g <= 0 {
+		return -1
+	}
+	return b.g - b.Used()
+}
+
+// Budget returns the round budget G (<= 0 means unlimited).
+func (b *BudgetCounter) Budget() int { return b.g }
+
 // Session enforces the per-round query budget G on top of an Iface and
 // optionally drives the constant-update model by running a hook before
 // each query (the harness uses the hook to apply mid-round updates,
 // modelling databases that change while the algorithm is executing, §5.2).
 //
-// A Session is single-goroutine (its budget accounting is unsynchronised);
-// concurrency comes from many sessions sharing one Iface.
+// Budget accounting is atomic, so one Session may be shared by the
+// bounded fan-out of the estimator execution engine (several goroutines
+// issuing one round's drill-down walks). With a pre-search hook installed
+// the session reverts to single-goroutine use — the hook couples query
+// order to database mutation — and reports so via ConcurrentSearchable.
 type Session struct {
 	f         *Iface
-	budget    int
-	used      int
+	bc        *BudgetCounter
 	preSearch func(queryIndex int)
 }
 
 // NewSession starts a round with budget G (G <= 0 means unlimited).
 func (f *Iface) NewSession(g int) *Session {
-	return &Session{f: f, budget: g}
+	return &Session{f: f, bc: NewBudgetCounter(g)}
 }
 
 // SetPreSearchHook installs fn, invoked with the 0-based index of each
-// query just before it is answered. Harness-only: estimators never see it.
+// query just before it is answered. Harness-only: estimators never see
+// it, and installing it makes the session single-goroutine again.
 func (s *Session) SetPreSearchHook(fn func(queryIndex int)) { s.preSearch = fn }
+
+// ConcurrentSearchable reports whether concurrent Search calls are safe:
+// true unless a pre-search hook mutates the database per query.
+func (s *Session) ConcurrentSearchable() bool { return s.preSearch == nil }
 
 // Search issues one query, consuming one unit of budget.
 func (s *Session) Search(q Query) (Result, error) {
-	if s.budget > 0 && s.used >= s.budget {
+	idx, ok := s.bc.Claim()
+	if !ok {
 		return Result{}, ErrBudgetExhausted
 	}
 	if s.preSearch != nil {
-		s.preSearch(s.used)
+		s.preSearch(idx)
 	}
-	s.used++
 	return s.f.Search(q)
 }
 
@@ -244,20 +295,15 @@ func (s *Session) K() int { return s.f.K() }
 func (s *Session) Schema() *schema.Schema { return s.f.Schema() }
 
 // Used returns the number of queries issued in this session.
-func (s *Session) Used() int { return s.used }
+func (s *Session) Used() int { return s.bc.Used() }
 
 // Remaining returns the unused budget, or a negative number if unlimited.
-func (s *Session) Remaining() int {
-	if s.budget <= 0 {
-		return -1
-	}
-	return s.budget - s.used
-}
+func (s *Session) Remaining() int { return s.bc.Remaining() }
 
 // Budget returns the session's budget G (<=0 means unlimited).
-func (s *Session) Budget() int { return s.budget }
+func (s *Session) Budget() int { return s.bc.Budget() }
 
-var _ Searcher = (*Session)(nil)
+var _ ConcurrentSearcher = (*Session)(nil)
 var _ Searcher = ifaceSearcher{}
 
 // CountingIface is an Iface that additionally reports each query's result

@@ -157,3 +157,17 @@ type Searcher interface {
 	// Schema describes the queryable attributes.
 	Schema() *schema.Schema
 }
+
+// ConcurrentSearcher is a Searcher that can declare itself safe for
+// concurrent Search calls from multiple goroutines. The estimator
+// execution engine fans a round's planned drill-down walks out over a
+// session only when it reports true; everything else falls back to
+// sequential issuance. Session implements it (true unless a pre-search
+// hook couples query order to database mutation), as does
+// webiface.Session.
+type ConcurrentSearcher interface {
+	Searcher
+	// ConcurrentSearchable reports whether this instance currently
+	// accepts Search calls from multiple goroutines.
+	ConcurrentSearchable() bool
+}

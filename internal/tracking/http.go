@@ -1,0 +1,51 @@
+package tracking
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// Handler exposes the service's current state over HTTP:
+//
+//	GET /status    → the full round View (algorithm, round, budget,
+//	                 queries, estimates, last error)
+//	GET /estimates → just the estimates array
+//	GET /healthz   → 200 once at least one round completed without a
+//	                 step error, 503 before that (readiness probe)
+//
+// All responses are JSON. Reads never block a running round: they serve
+// the immutable View published at the previous round boundary.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.statusView())
+	})
+	mux.HandleFunc("GET /estimates", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.CurrentView().Estimates)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		v := s.CurrentView()
+		w.Header().Set("Content-Type", "application/json")
+		if v.Steps == 0 || v.LastError != "" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{"steps": v.Steps, "last_error": v.LastError})
+	})
+	return mux
+}
+
+// statusWire decorates the View with process uptime.
+type statusWire struct {
+	View
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *Service) statusView() statusWire {
+	return statusWire{View: s.CurrentView(), UptimeSeconds: time.Since(s.start).Seconds()}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,318 @@
+// Package tracking turns the estimators into a long-running production
+// service: a Service attaches one estimator to a live hidden database —
+// a local store churned by its owner, or a remote dynagg-serve URL
+// reached through webiface — advances it one budgeted round per tick,
+// checkpoints its state through the estimator/persist snapshots so a
+// crash (or a deliberate restart) resumes the drill-down pool instead of
+// rebuilding it, and publishes current estimates and round statistics
+// over HTTP (see http.go).
+//
+// This is the paper's §6 online-experiment setting run as a first-class
+// workload instead of a simulation artifact: the tracker that followed
+// Amazon and eBay for weeks is exactly a Service with a daily Interval.
+//
+// Concurrency: the estimator inside a Service stays single-goroutine —
+// only the Run loop (or one StepOnce caller at a time) advances it; the
+// estimator's own execution engine fans the round's drill-down walks out
+// over Config.Parallelism goroutines internally. HTTP readers never touch
+// the estimator: each round publishes an immutable view under the
+// service mutex.
+package tracking
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/dynagg/dynagg/internal/agg"
+	"github.com/dynagg/dynagg/internal/estimator"
+	"github.com/dynagg/dynagg/internal/schema"
+)
+
+// Session is the budgeted per-round query capability a tracked estimator
+// consumes (re-exported so callers need not import internal/estimator).
+type Session = estimator.Session
+
+// SessionSource produces one budgeted session per round. Both
+// (*hiddendb.Iface).NewSession and (*webiface.Client).NewSession fit
+// after wrapping their concrete return in the interface.
+type SessionSource func(budget int) Session
+
+// Config tunes a Service.
+type Config struct {
+	// Algorithm picks the estimator: RESTART, REISSUE or RS (default).
+	Algorithm string
+	// Aggregates are the tracked aggregate specs (required). On resume
+	// they must match the checkpoint (same count and order).
+	Aggregates []*agg.Aggregate
+	// Budget is the per-round query limit G (0 = unlimited; only
+	// sensible against a local simulation).
+	Budget int
+	// Interval is the round cadence of Run (required for Run; StepOnce
+	// ignores it).
+	Interval time.Duration
+	// Seed drives the estimator's randomness. A resumed service should
+	// use a fresh seed: signatures already drawn live in the checkpoint.
+	Seed int64
+	// Parallelism is the estimator execution engine's worker bound
+	// (0 = DYNAGG_ESTIMATOR_WORKERS / sequential).
+	Parallelism int
+	// Pilot overrides RS's bootstrap parameter ϖ (0 = default).
+	Pilot int
+	// DeltaTarget makes RS optimise the trans-round delta.
+	DeltaTarget bool
+	// MaxDrills bounds the drill-down pool (0 = unlimited). Long-running
+	// services should set it: the pool otherwise grows with lifetime.
+	MaxDrills int
+	// CheckpointPath, when set, is written atomically after every round
+	// and loaded on New, so a restarted service resumes mid-stream.
+	CheckpointPath string
+	// MaxRounds stops Run after this many rounds (0 = run until the
+	// context is cancelled).
+	MaxRounds int
+	// PreRound, when set, runs before each round's Step — the hook a
+	// local simulation uses to apply churn (round is the upcoming
+	// estimator round, numbered from 1). A remote service leaves it nil:
+	// the real database changes on its own.
+	PreRound func(round int) error
+}
+
+// Service continuously tracks aggregates over a live hidden database.
+type Service struct {
+	cfg    Config
+	source SessionSource
+	start  time.Time
+
+	mu      sync.RWMutex
+	est     estimator.Estimator // guarded: Step on the run goroutine, reads via view
+	view    View
+	stepErr error
+}
+
+// View is the immutable per-round publication HTTP readers consume.
+type View struct {
+	Algorithm string           `json:"algorithm"`
+	Round     int              `json:"round"`
+	Budget    int              `json:"budget"`
+	UsedLast  int              `json:"used_last_round"`
+	Drills    int              `json:"drill_downs"`
+	Steps     int              `json:"steps_this_process"`
+	Resumed   bool             `json:"resumed"`
+	LastStep  time.Time        `json:"last_step"`
+	LastError string           `json:"last_error,omitempty"`
+	Estimates []EstimateStatus `json:"estimates"`
+}
+
+// EstimateStatus is one aggregate's current estimate.
+type EstimateStatus struct {
+	Aggregate string         `json:"aggregate"`
+	OK        bool           `json:"ok"`
+	Value     float64        `json:"value"`
+	Variance  float64        `json:"variance"`
+	Drills    int            `json:"drills"`
+	Delta     *EstimateDelta `json:"delta,omitempty"`
+}
+
+// EstimateDelta is the trans-round estimate Q(D_j) − Q(D_{j-1}).
+type EstimateDelta struct {
+	Value    float64 `json:"value"`
+	Variance float64 `json:"variance"`
+}
+
+// New builds a service over the given schema and session source. When
+// Config.CheckpointPath names an existing file, the estimator state is
+// resumed from it (the aggregate list must match the checkpoint);
+// otherwise a fresh estimator starts at round 0.
+func New(sch *schema.Schema, source SessionSource, cfg Config) (*Service, error) {
+	if sch == nil || source == nil {
+		return nil, errors.New("tracking: schema and session source required")
+	}
+	if len(cfg.Aggregates) == 0 {
+		return nil, errors.New("tracking: at least one aggregate required")
+	}
+	ecfg := estimator.Config{
+		Rand:        rand.New(rand.NewSource(cfg.Seed)),
+		Pilot:       cfg.Pilot,
+		MaxDrills:   cfg.MaxDrills,
+		Parallelism: cfg.Parallelism,
+	}
+	var est estimator.Estimator
+	resumed := false
+	if cfg.CheckpointPath != "" {
+		f, err := os.Open(cfg.CheckpointPath)
+		switch {
+		case err == nil:
+			est, err = estimator.Load(f, sch, cfg.Aggregates, ecfg)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("tracking: resume %s: %w", cfg.CheckpointPath, err)
+			}
+			resumed = true
+		case !os.IsNotExist(err):
+			return nil, fmt.Errorf("tracking: checkpoint: %w", err)
+		}
+	}
+	if est == nil {
+		var err error
+		switch algo := cfg.Algorithm; algo {
+		case "RESTART":
+			est, err = estimator.NewRestart(sch, cfg.Aggregates, ecfg)
+		case "REISSUE":
+			est, err = estimator.NewReissue(sch, cfg.Aggregates, ecfg)
+		case "RS", "":
+			var opts []estimator.RSOption
+			if cfg.DeltaTarget {
+				opts = append(opts, estimator.WithDeltaTarget())
+			}
+			est, err = estimator.NewRS(sch, cfg.Aggregates, ecfg, opts...)
+		default:
+			err = fmt.Errorf("tracking: unknown algorithm %q", algo)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := &Service{cfg: cfg, source: source, est: est, start: time.Now()}
+	s.view = s.buildView(resumed, 0, nil)
+	return s, nil
+}
+
+// Resumed reports whether New loaded estimator state from a checkpoint.
+func (s *Service) Resumed() bool { return s.CurrentView().Resumed }
+
+// CurrentView returns the latest published round view.
+func (s *Service) CurrentView() View {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.view
+}
+
+// buildView snapshots the estimator into an immutable View. Callers must
+// hold no lock; the estimator must be quiescent (New, or the Run loop
+// between steps).
+func (s *Service) buildView(resumed bool, steps int, stepErr error) View {
+	v := View{
+		Algorithm: s.est.Name(),
+		Round:     s.est.Round(),
+		Budget:    s.cfg.Budget,
+		UsedLast:  s.est.UsedLastRound(),
+		Drills:    s.est.DrillDowns(),
+		Steps:     steps,
+		Resumed:   resumed,
+	}
+	if stepErr != nil {
+		v.LastError = stepErr.Error()
+	}
+	for i, a := range s.cfg.Aggregates {
+		st := EstimateStatus{Aggregate: a.String()}
+		if est, ok := s.est.Estimate(i); ok {
+			st.OK = true
+			st.Value = est.Value
+			st.Variance = est.Variance
+			st.Drills = est.Drills
+		}
+		if d, ok := s.est.EstimateDelta(i); ok {
+			st.Delta = &EstimateDelta{Value: d.Value, Variance: d.Variance}
+		}
+		v.Estimates = append(v.Estimates, st)
+	}
+	return v
+}
+
+// StepOnce advances the tracker by one budgeted round: PreRound churn (if
+// any), one estimator Step, a checkpoint write, and the view publication.
+// It must not be called concurrently with itself or Run. A Step error is
+// recorded in the view and returned; the service remains usable — the
+// next round may succeed (e.g. a transient network failure against a
+// remote database).
+func (s *Service) StepOnce() error {
+	s.mu.RLock()
+	resumed, steps := s.view.Resumed, s.view.Steps
+	s.mu.RUnlock()
+
+	err := s.stepEstimator()
+	if err == nil {
+		if cerr := s.checkpoint(); cerr != nil {
+			err = cerr
+		} else {
+			steps++
+		}
+	}
+	v := s.buildView(resumed, steps, err)
+	v.LastStep = time.Now()
+	s.mu.Lock()
+	s.view = v
+	s.stepErr = err
+	s.mu.Unlock()
+	return err
+}
+
+func (s *Service) stepEstimator() error {
+	if s.cfg.PreRound != nil {
+		if err := s.cfg.PreRound(s.est.Round() + 1); err != nil {
+			return fmt.Errorf("tracking: pre-round: %w", err)
+		}
+	}
+	return s.est.Step(s.source(s.cfg.Budget))
+}
+
+// checkpoint writes the estimator snapshot atomically (temp file +
+// rename), so a crash mid-write never corrupts the resumable state.
+func (s *Service) checkpoint() error {
+	if s.cfg.CheckpointPath == "" {
+		return nil
+	}
+	dir := filepath.Dir(s.cfg.CheckpointPath)
+	tmp, err := os.CreateTemp(dir, ".dynagg-ckpt-*")
+	if err != nil {
+		return fmt.Errorf("tracking: checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := estimator.Save(s.est, tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("tracking: checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("tracking: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.cfg.CheckpointPath); err != nil {
+		return fmt.Errorf("tracking: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Run advances the tracker on the configured Interval until ctx is
+// cancelled or MaxRounds is reached. The first round runs immediately.
+// Step errors are recorded in the view and do not stop the loop; only
+// cancellation (returns nil) or a MaxRounds completion ends it.
+func (s *Service) Run(ctx context.Context) error {
+	if s.cfg.Interval <= 0 {
+		return errors.New("tracking: Config.Interval required for Run")
+	}
+	rounds := 0
+	step := func() bool {
+		_ = s.StepOnce()
+		rounds++
+		return s.cfg.MaxRounds > 0 && rounds >= s.cfg.MaxRounds
+	}
+	if step() {
+		return nil
+	}
+	t := time.NewTicker(s.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-t.C:
+			if step() {
+				return nil
+			}
+		}
+	}
+}

@@ -243,23 +243,50 @@ type ClientOptions struct {
 	// Retries is the number of times a failed request is retried with
 	// exponential backoff (default 2).
 	Retries int
+	// RequestTimeout bounds each request attempt (0 = rely on
+	// HTTPClient's own timeout). A timed-out attempt is retried;
+	// cancellation of the caller's context is not.
+	RequestTimeout time.Duration
+	// APIKey, when set, is sent as the X-API-Key header so the server
+	// can account this client's per-round budget (see Handler).
+	APIKey string
 	// Request and Parse override the wire format for site-specific APIs.
 	Request RequestFunc
 	// Parse decodes responses.
 	Parse ParseFunc
 }
 
-// Client is a hiddendb.Searcher over HTTP. Like every estimator-side
-// capability it is single-goroutine (the rate limiter below is
-// unsynchronised); concurrent clients each dial their own.
+// Client is a hiddendb.Searcher over HTTP. It is safe for concurrent use
+// by multiple goroutines — the rate limiter hands out send slots under a
+// mutex — so the estimator execution engine can fan one round's
+// drill-down walks out over a single shared client session.
 type Client struct {
-	base   string
-	sch    *schema.Schema
-	k      int
-	http   *http.Client
-	opts   ClientOptions
+	base string
+	sch  *schema.Schema
+	k    int
+	http *http.Client
+	opts ClientOptions
+
+	mu     sync.Mutex // guards nextAt
 	nextAt time.Time
 }
+
+// BudgetExhaustedError reports an HTTP 429 from the remote database: the
+// server-side per-key round budget G is spent. It unwraps to
+// hiddendb.ErrBudgetExhausted, so estimators treat it as the normal end
+// of a round rather than a failure, and it is never retried (the budget
+// only resets at the next round).
+type BudgetExhaustedError struct {
+	// Status is the server's status line, e.g. "429 Too Many Requests".
+	Status string
+}
+
+func (e *BudgetExhaustedError) Error() string {
+	return "webiface: server budget exhausted: " + e.Status
+}
+
+// Unwrap makes errors.Is(err, hiddendb.ErrBudgetExhausted) true.
+func (e *BudgetExhaustedError) Unwrap() error { return hiddendb.ErrBudgetExhausted }
 
 // Dial fetches the remote schema and returns a ready client.
 func Dial(base string, opts ClientOptions) (*Client, error) {
@@ -310,45 +337,109 @@ func (c *Client) Schema() *schema.Schema { return c.sch }
 // Search issues one conjunctive query over HTTP, honouring the rate limit
 // and retrying transient failures.
 func (c *Client) Search(q hiddendb.Query) (hiddendb.Result, error) {
-	if c.opts.MinInterval > 0 {
-		if now := time.Now(); now.Before(c.nextAt) {
-			time.Sleep(c.nextAt.Sub(now))
-		}
-		c.nextAt = time.Now().Add(c.opts.MinInterval)
+	return c.SearchContext(context.Background(), q)
+}
+
+// SearchContext is Search with caller-controlled cancellation: the rate-
+// limit wait, every retry backoff and every request attempt observe ctx.
+// ClientOptions.RequestTimeout additionally bounds each attempt; an
+// attempt timeout is transient (retried), ctx cancellation is terminal.
+func (c *Client) SearchContext(ctx context.Context, q hiddendb.Query) (hiddendb.Result, error) {
+	if err := c.waitSlot(ctx); err != nil {
+		return hiddendb.Result{}, err
 	}
 	var lastErr error
 	backoff := 100 * time.Millisecond
 	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			if err := sleepCtx(ctx, backoff); err != nil {
+				return hiddendb.Result{}, err
+			}
 			backoff *= 2
 		}
-		req, err := c.opts.Request(context.Background(), c.base, q)
-		if err != nil {
+		res, retryable, err := c.attempt(ctx, q)
+		if err == nil {
+			return res, nil
+		}
+		if !retryable {
 			return hiddendb.Result{}, err
 		}
-		resp, err := c.http.Do(req)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		if resp.StatusCode != http.StatusOK {
-			resp.Body.Close()
-			lastErr = fmt.Errorf("webiface: search: %s", resp.Status)
-			if resp.StatusCode >= 400 && resp.StatusCode < 500 {
-				return hiddendb.Result{}, lastErr // not transient
-			}
-			continue
-		}
-		res, err := c.opts.Parse(resp)
-		resp.Body.Close()
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		return res, nil
+		lastErr = err
 	}
 	return hiddendb.Result{}, fmt.Errorf("webiface: search failed after retries: %w", lastErr)
+}
+
+// attempt performs one request/parse cycle, classifying failures as
+// retryable (transient network/server trouble) or terminal.
+func (c *Client) attempt(ctx context.Context, q hiddendb.Query) (res hiddendb.Result, retryable bool, err error) {
+	actx := ctx
+	if c.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.opts.RequestTimeout)
+		defer cancel()
+	}
+	req, err := c.opts.Request(actx, c.base, q)
+	if err != nil {
+		return hiddendb.Result{}, false, err
+	}
+	if c.opts.APIKey != "" {
+		req.Header.Set("X-API-Key", c.opts.APIKey)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			// The caller cancelled; the per-attempt timeout alone stays
+			// retryable.
+			return hiddendb.Result{}, false, ctx.Err()
+		}
+		return hiddendb.Result{}, true, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return hiddendb.Result{}, false, &BudgetExhaustedError{Status: resp.Status}
+	case resp.StatusCode != http.StatusOK:
+		return hiddendb.Result{}, resp.StatusCode >= 500,
+			fmt.Errorf("webiface: search: %s", resp.Status)
+	}
+	res, err = c.opts.Parse(resp)
+	if err != nil {
+		return hiddendb.Result{}, true, err
+	}
+	return res, false, nil
+}
+
+// waitSlot claims the next rate-limited send slot and sleeps until it,
+// observing ctx. Slots are handed out under the mutex, so concurrent
+// callers queue fairly at MinInterval spacing.
+func (c *Client) waitSlot(ctx context.Context) error {
+	if c.opts.MinInterval <= 0 {
+		return ctx.Err()
+	}
+	c.mu.Lock()
+	now := time.Now()
+	slot := c.nextAt
+	if slot.Before(now) {
+		slot = now
+	}
+	c.nextAt = slot.Add(c.opts.MinInterval)
+	c.mu.Unlock()
+	return sleepCtx(ctx, time.Until(slot))
+}
+
+// sleepCtx sleeps for d unless ctx is done first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 var _ hiddendb.Searcher = (*Client)(nil)
@@ -378,22 +469,28 @@ func defaultParse(resp *http.Response) (hiddendb.Result, error) {
 }
 
 // Session wraps the client with a per-round budget, mirroring
-// hiddendb.Session for remote databases.
+// hiddendb.Session for remote databases. Budget accounting is atomic, so
+// one Session may be shared by the estimator execution engine's bounded
+// fan-out (several goroutines issuing one round's drill-down walks over
+// the same client).
 type Session struct {
-	c      *Client
-	budget int
-	used   int
+	c  *Client
+	bc *hiddendb.BudgetCounter
 }
 
 // NewSession starts a budgeted round against the remote database.
-func (c *Client) NewSession(g int) *Session { return &Session{c: c, budget: g} }
+func (c *Client) NewSession(g int) *Session {
+	return &Session{c: c, bc: hiddendb.NewBudgetCounter(g)}
+}
+
+// ConcurrentSearchable reports that concurrent Search calls are safe.
+func (s *Session) ConcurrentSearchable() bool { return true }
 
 // Search issues one query, consuming budget.
 func (s *Session) Search(q hiddendb.Query) (hiddendb.Result, error) {
-	if s.budget > 0 && s.used >= s.budget {
+	if _, ok := s.bc.Claim(); !ok {
 		return hiddendb.Result{}, hiddendb.ErrBudgetExhausted
 	}
-	s.used++
 	return s.c.Search(q)
 }
 
@@ -404,17 +501,12 @@ func (s *Session) K() int { return s.c.K() }
 func (s *Session) Schema() *schema.Schema { return s.c.Schema() }
 
 // Used returns the queries issued this round.
-func (s *Session) Used() int { return s.used }
+func (s *Session) Used() int { return s.bc.Used() }
 
 // Remaining returns the unused budget (negative when unlimited).
-func (s *Session) Remaining() int {
-	if s.budget <= 0 {
-		return -1
-	}
-	return s.budget - s.used
-}
+func (s *Session) Remaining() int { return s.bc.Remaining() }
 
 // Budget returns the round's budget G.
-func (s *Session) Budget() int { return s.budget }
+func (s *Session) Budget() int { return s.bc.Budget() }
 
-var _ hiddendb.Searcher = (*Session)(nil)
+var _ hiddendb.ConcurrentSearcher = (*Session)(nil)

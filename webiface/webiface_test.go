@@ -1,10 +1,13 @@
 package webiface
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -240,5 +243,181 @@ func TestDialErrors(t *testing.T) {
 	defer bad.Close()
 	if _, err := Dial(bad.URL, ClientOptions{}); err == nil {
 		t.Error("invalid remote schema accepted")
+	}
+}
+
+// A server-side 429 must surface as the typed BudgetExhaustedError, which
+// estimators recognise as a normal budget death — and must not be retried
+// (the budget only resets next round).
+func TestServerBudgetTypedError(t *testing.T) {
+	env, _ := newServer(t, 20, 1000, 10)
+	iface := hiddendb.NewIface(env.Store, 10, nil)
+	h := NewHandler(iface)
+	h.SetPerKeyBudget(3)
+	var searches int32
+	counting := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/search" {
+			atomic.AddInt32(&searches, 1)
+		}
+		h.ServeHTTP(w, r)
+	}))
+	defer counting.Close()
+
+	c, err := Dial(counting.URL, ClientOptions{Retries: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Search(hiddendb.NewQuery(hiddendb.Pred{Attr: 0, Val: uint16(i)})); err != nil {
+			t.Fatalf("within budget: %v", err)
+		}
+	}
+	_, err = c.Search(hiddendb.NewQuery())
+	if err == nil {
+		t.Fatal("over-budget search succeeded")
+	}
+	if !errors.Is(err, hiddendb.ErrBudgetExhausted) {
+		t.Fatalf("429 did not unwrap to ErrBudgetExhausted: %v", err)
+	}
+	var be *BudgetExhaustedError
+	if !errors.As(err, &be) {
+		t.Fatalf("429 is not a *BudgetExhaustedError: %T", err)
+	}
+	if got := atomic.LoadInt32(&searches); got != 4 {
+		t.Errorf("client sent %d searches; a 429 must not be retried", got)
+	}
+}
+
+// An estimator tracking through a remote session must treat server-side
+// budget exhaustion as the normal end of a round.
+func TestEstimatorSurvivesServerBudget(t *testing.T) {
+	env, _ := newServer(t, 21, 8000, 100)
+	iface := hiddendb.NewIface(env.Store, 100, nil)
+	h := NewHandler(iface)
+	h.SetPerKeyBudget(120)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	c, err := Dial(srv.URL, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := estimator.Config{Rand: rand.New(rand.NewSource(22)), Parallelism: 4}
+	est, err := estimator.NewReissue(c.Schema(), []*agg.Aggregate{agg.CountAll()}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 1; round <= 2; round++ {
+		h.ResetBudgets()
+		// Client-side budget far above the server's: the 429 ends the round.
+		if err := est.Step(c.NewSession(10000)); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if _, ok := est.Estimate(0); !ok {
+		t.Fatal("no estimate despite completed rounds")
+	}
+}
+
+// SearchContext must honour caller cancellation through the rate-limit
+// wait, the backoff sleeps and the request itself.
+func TestSearchContextCancellation(t *testing.T) {
+	env, _ := newServer(t, 23, 500, 10)
+	iface := hiddendb.NewIface(env.Store, 10, nil)
+	inner := NewHandler(iface)
+	release := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/search" {
+			<-release
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer slow.Close()
+	defer close(release)
+
+	c, err := Dial(slow.URL, ClientOptions{Retries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.SearchContext(ctx, hiddendb.NewQuery())
+	if err == nil {
+		t.Fatal("cancelled search succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// A per-attempt RequestTimeout retries slow attempts, and eventually
+// fails with the timeout as the last error — without the caller's context
+// being touched.
+func TestRequestTimeoutRetriesSlowAttempts(t *testing.T) {
+	env, _ := newServer(t, 24, 500, 10)
+	iface := hiddendb.NewIface(env.Store, 10, nil)
+	inner := NewHandler(iface)
+	var calls int32
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/search" {
+			if atomic.AddInt32(&calls, 1) <= 2 {
+				time.Sleep(200 * time.Millisecond) // beyond the attempt timeout
+			}
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer slow.Close()
+
+	c, err := Dial(slow.URL, ClientOptions{Retries: 3, RequestTimeout: 40 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Search(hiddendb.NewQuery()); err != nil {
+		t.Fatalf("search did not recover from slow attempts: %v", err)
+	}
+	if got := atomic.LoadInt32(&calls); got != 3 {
+		t.Errorf("expected 2 timed-out attempts + 1 success, saw %d calls", got)
+	}
+}
+
+// One webiface.Session shared by many goroutines (the estimator
+// executor's fan-out) must never exceed its budget.
+func TestSessionConcurrentBudget(t *testing.T) {
+	_, srv := newServer(t, 25, 2000, 50)
+	c, err := Dial(srv.URL, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const g = 40
+	sess := c.NewSession(g)
+	if !sess.ConcurrentSearchable() {
+		t.Fatal("remote session must be concurrent-searchable")
+	}
+	var wg sync.WaitGroup
+	var budgetErrs atomic.Int32
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				_, err := sess.Search(hiddendb.NewQuery(hiddendb.Pred{Attr: 0, Val: uint16(w % 3)}))
+				if err != nil {
+					if !errors.Is(err, hiddendb.ErrBudgetExhausted) {
+						t.Errorf("unexpected error: %v", err)
+					}
+					budgetErrs.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if sess.Used() != g {
+		t.Fatalf("used %d, want exactly %d", sess.Used(), g)
+	}
+	if budgetErrs.Load() != 80-g {
+		t.Fatalf("budget errors %d, want %d", budgetErrs.Load(), 80-g)
 	}
 }
