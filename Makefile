@@ -25,12 +25,14 @@ fmt-check:
 
 # race exercises the parallel trial engine, the estimator execution
 # engine (concurrent drill-down walks sharing one session), the tracking
-# service, the snapshot engine's concurrent-reader contract (32 sessions
-# on one Iface) and the HTTP serving layer (32 concurrent clients on one
-# handler) under the race detector.
+# service (32 HTTP readers while Run advances rounds), the fleet
+# scheduler + control plane (readers and task-table writers racing the
+# tick loop), the snapshot engine's concurrent-reader contract (32
+# sessions on one Iface) and the HTTP serving layer (32 concurrent
+# clients on one handler) under the race detector.
 race:
 	$(GO) test -race ./internal/experiments/ ./internal/estimator/ \
-		./internal/tracking/ ./internal/hiddendb/ ./webiface/
+		./internal/tracking/ ./internal/fleet/ ./internal/hiddendb/ ./webiface/
 
 # bench regenerates every figure and reports the headline metrics, then
 # refreshes the machine-readable serving-benchmark record.
@@ -39,17 +41,18 @@ bench:
 	$(MAKE) bench-serving
 
 # bench-serving runs the serving-path benchmarks (prefix vs non-prefix
-# snapshot answering, query-key encoding, concurrent sessions, and the
-# estimator executor's sequential-vs-concurrent drill-down issuance) and
-# emits machine-readable results to BENCH_serving.json; CI archives the
-# file as an artifact, seeding the repo's perf trajectory.
-SERVING_BENCH := BenchmarkSnapshotPrefixQuery|BenchmarkSnapshotNonPrefix|BenchmarkQueryKey|BenchmarkServingConcurrent|BenchmarkConcurrentSessions|BenchmarkEstimatorExec
+# snapshot answering, query-key encoding, concurrent sessions, the
+# estimator executor's sequential-vs-concurrent drill-down issuance, and
+# the fleet scheduler tick at tasks=1 vs tasks=8 on one shared remote)
+# and emits machine-readable results to BENCH_serving.json; CI archives
+# the file as an artifact, seeding the repo's perf trajectory.
+SERVING_BENCH := BenchmarkSnapshotPrefixQuery|BenchmarkSnapshotNonPrefix|BenchmarkQueryKey|BenchmarkServingConcurrent|BenchmarkConcurrentSessions|BenchmarkEstimatorExec|BenchmarkFleetScheduler
 BENCHTIME ?= 1s
 # Two steps (not a pipe) so a benchmark failure fails the target instead
 # of being masked by the converter's exit status.
 bench-serving:
 	$(GO) test -run '^$$' -bench '$(SERVING_BENCH)' -benchmem -benchtime $(BENCHTIME) \
-		. ./internal/hiddendb/ ./internal/experiments/ ./internal/estimator/ > BENCH_serving.out
+		. ./internal/hiddendb/ ./internal/experiments/ ./internal/estimator/ ./internal/fleet/ > BENCH_serving.out
 	$(GO) run ./cmd/dynagg-benchjson -out BENCH_serving.json < BENCH_serving.out
 
 # bench-smoke runs every benchmark exactly once so bench_test.go cannot

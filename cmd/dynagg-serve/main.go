@@ -6,7 +6,9 @@
 // It is the serving half of the paper's live-experiment setting: point
 // estimators (dynagg.NewRemoteTracker, examples/remote) at it, or load
 // test it — reads are answered from immutable snapshots, so the churn
-// goroutine never blocks a client.
+// goroutine never blocks a client. Serving diagnostics are exposed at
+// /stats (JSON) and /metrics (Prometheus-style plaintext: query counts,
+// store version, per-key budget accounting).
 //
 // Usage examples:
 //

@@ -16,6 +16,7 @@
 //	curl localhost:8090/status     # round, budget, queries, estimates
 //	curl localhost:8090/estimates
 //	curl localhost:8090/healthz
+//	curl localhost:8090/metrics    # Prometheus-style plaintext
 //
 // Interrupting the process (SIGINT/SIGTERM) drains the status server and
 // exits cleanly; with -checkpoint set, restarting resumes the drill-down

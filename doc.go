@@ -104,7 +104,32 @@
 // service over a live database (local store with churn or a remote
 // dynagg-serve URL): one budgeted round per tick, crash/resume via the
 // estimator persistence snapshots, and current estimates served over
-// HTTP (/status, /estimates, /healthz).
+// HTTP (/status, /estimates, /healthz, Prometheus-style /metrics).
+//
+// # Multi-tenant fleets
+//
+// internal/fleet + cmd/dynagg-fleet multiplex MANY tracked aggregates
+// over shared resources: a fleet manager owns N tasks (each one
+// tracking.Service bound to a local target or a remote dynagg-serve
+// URL), splits a global per-tick query budget across them by weighted
+// fair sharing (leftovers redistributed deterministically by task ID),
+// pools webiface clients per host so tasks against one remote share its
+// rate-limiter slots, and checkpoints every task under one fleet
+// directory so a crash or restart resumes the whole fleet. An HTTP
+// control plane adds/removes/pauses tasks at runtime. The fleet
+// ownership rules extend the contract above:
+//
+//   - The scheduler goroutine owns all task stepping: one task at a
+//     time, in ascending task-ID order; only each task's estimator
+//     fans out internally. Per-task estimates are byte-identical to an
+//     equally budgeted standalone tracking.Service (the experiments
+//     "fleet" scenario re-proves this on every run).
+//   - The control plane owns only the task table (manager mutex);
+//     mutations take effect at tick boundaries and never touch a
+//     service beyond reading its immutable View.
+//   - Target churn hooks run once per tick on the scheduler goroutine,
+//     no matter how many tasks share the target; pooled clients are
+//     concurrent-safe by construction.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record of every reproduced figure.

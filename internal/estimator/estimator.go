@@ -134,6 +134,13 @@ type Estimator interface {
 	// DrillDowns returns the cumulative number of drill-down operations
 	// (fresh or update) completed over the estimator's lifetime.
 	DrillDowns() int
+	// WastedQueries returns the cumulative number of queries spent on
+	// speculatively issued walks whose results were never applied: when a
+	// concurrently executed wave aborts on an error, walks later in the
+	// wave may already have run (exec.go). Sequential execution never
+	// wastes a query, so this is exactly the price of Parallelism > 1 on
+	// rounds that end abnormally.
+	WastedQueries() int
 }
 
 // contribution is the state of one drill down at one round: its top
@@ -186,6 +193,7 @@ type base struct {
 	round  int
 	used   int
 	drills int // lifetime completed drill-down operations
+	wasted int // lifetime queries spent on never-applied speculative walks
 
 	estimates []Estimate
 	estOK     []bool
@@ -246,6 +254,7 @@ func (b *base) Round() int                   { return b.round }
 func (b *base) Aggregates() []*agg.Aggregate { return b.aggs }
 func (b *base) UsedLastRound() int           { return b.used }
 func (b *base) DrillDowns() int              { return b.drills }
+func (b *base) WastedQueries() int           { return b.wasted }
 
 func (b *base) Estimate(i int) (Estimate, bool) {
 	if i < 0 || i >= len(b.aggs) || !b.estOK[i] {

@@ -65,10 +65,13 @@ type drillOp struct {
 // opResult is one walk's outcome. err is nil on success, unwraps to
 // hiddendb.ErrBudgetExhausted on a budget death, and is terminal
 // otherwise; ran is false for ops skipped after an earlier op's error.
+// used counts the queries the walk issued (tracked through its
+// allowance), so aborted waves can account their speculative waste.
 type opResult struct {
 	outcome querytree.Outcome
 	err     error
 	ran     bool
+	used    int
 }
 
 // planFresh draws the next fresh drill-down op from the round RNG.
@@ -150,7 +153,9 @@ func (b *base) runPlan(sess Session, s hiddendb.Searcher, ops []drillOp) []opRes
 		if wave == 0 {
 			// Tail: the next walk runs alone with everything that remains,
 			// so a death here is exactly a sequential shared-budget death.
-			results[i] = runWalk(&allowance{inner: s, left: rem}, b.tree, &ops[i])
+			a := &allowance{inner: s, left: rem}
+			results[i] = runWalk(a, b.tree, &ops[i])
+			results[i].used = a.used
 			if results[i].err != nil {
 				return results
 			}
@@ -160,9 +165,17 @@ func (b *base) runPlan(sess Session, s hiddendb.Searcher, ops []drillOp) []opRes
 		b.runWave(workers, s, ops[i:i+wave], results[i:i+wave])
 		for j := i; j < i+wave; j++ {
 			if results[j].err != nil {
-				// First-in-order terminal error ends the plan (walks after
-				// it may have run speculatively; their results are never
-				// applied).
+				// First-in-order error ends the plan (a server-side budget
+				// death or a terminal failure); walks after it may have run
+				// speculatively, and their results are never applied — count
+				// the queries they issued as the waste of concurrency. A
+				// sequential run would have stopped at walk j and issued
+				// none of them (the ROADMAP speculative-issuance item).
+				for k := j + 1; k < i+wave; k++ {
+					if results[k].ran {
+						b.wasted += results[k].used
+					}
+				}
 				return results
 			}
 		}
@@ -189,7 +202,9 @@ func (b *base) runWave(workers int, s hiddendb.Searcher, ops []drillOp, results 
 				if i >= len(ops) {
 					return
 				}
-				results[i] = runWalk(&allowance{inner: s, left: ops[i].maxCost}, b.tree, &ops[i])
+				a := &allowance{inner: s, left: ops[i].maxCost}
+				results[i] = runWalk(a, b.tree, &ops[i])
+				results[i].used = a.used
 			}
 		}()
 	}
@@ -203,6 +218,7 @@ func (b *base) runWave(workers int, s hiddendb.Searcher, ops []drillOp, results 
 type allowance struct {
 	inner hiddendb.Searcher
 	left  int // < 0 ⇒ unlimited
+	used  int // queries actually handed to inner
 }
 
 func (a *allowance) Search(q hiddendb.Query) (hiddendb.Result, error) {
@@ -212,6 +228,7 @@ func (a *allowance) Search(q hiddendb.Query) (hiddendb.Result, error) {
 	if a.left > 0 {
 		a.left--
 	}
+	a.used++
 	return a.inner.Search(q)
 }
 

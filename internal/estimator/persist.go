@@ -60,6 +60,7 @@ type snapshot struct {
 	Round   int
 	Used    int
 	Drills  int
+	Wasted  int
 
 	Estimates []snapEstimate
 	Deltas    []snapEstimate
@@ -163,6 +164,7 @@ func (s *snapshot) fillBase(b *base) {
 	s.Round = b.round
 	s.Used = b.used
 	s.Drills = b.drills
+	s.Wasted = b.wasted
 	s.Estimates = estimatesToSnap(b.estimates, b.estOK)
 	s.Deltas = estimatesToSnap(b.deltas, b.deltaOK)
 }
@@ -171,6 +173,7 @@ func (s *snapshot) restoreBase(b *base) {
 	b.round = s.Round
 	b.used = s.Used
 	b.drills = s.Drills
+	b.wasted = s.Wasted
 	b.estimates, b.estOK = snapToEstimates(s.Estimates)
 	b.deltas, b.deltaOK = snapToEstimates(s.Deltas)
 }

@@ -1,0 +1,106 @@
+package estimator
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/dynagg/dynagg/internal/agg"
+	"github.com/dynagg/dynagg/internal/hiddendb"
+)
+
+var errSiteDown = errors.New("simulated terminal site failure")
+
+// depthFailSession wraps a real session and fails every query carrying
+// at least failDepth predicates with a terminal (non-budget) error. The
+// failure depends only on the query itself — never on cross-walk timing
+// — so the set of walks that err, and therefore the speculative-waste
+// count, is deterministic for every worker count.
+type depthFailSession struct {
+	*hiddendb.Session
+	failDepth int
+}
+
+func (s *depthFailSession) Search(q hiddendb.Query) (hiddendb.Result, error) {
+	if len(q.Preds()) >= s.failDepth {
+		// Burn the budget unit like a real failed issuance would.
+		if _, err := s.Session.Search(q); err != nil {
+			return hiddendb.Result{}, err
+		}
+		return hiddendb.Result{}, errSiteDown
+	}
+	return s.Session.Search(q)
+}
+
+func (s *depthFailSession) ConcurrentSearchable() bool { return true }
+
+var _ hiddendb.ConcurrentSearcher = (*depthFailSession)(nil)
+var _ Session = (*depthFailSession)(nil)
+
+// wasteAfterFailedStep runs one RESTART round against a session that
+// terminally fails every depth-1 query and returns the estimator's
+// wasted-query counter.
+func wasteAfterFailedStep(t *testing.T, par int) int {
+	t.Helper()
+	te := newTestEnv(t, 61, 6000, 5400, 100)
+	c := cfg(61 + 7)
+	c.Parallelism = par
+	e, err := NewRestart(te.env.Store.Schema(), []*agg.Aggregate{agg.CountAll()}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := &depthFailSession{Session: te.iface.NewSession(400), failDepth: 1}
+	if err := e.Step(sess); !errors.Is(err, errSiteDown) {
+		t.Fatalf("Step error = %v, want %v", err, errSiteDown)
+	}
+	return e.WastedQueries()
+}
+
+// TestWastedQueriesCountsWaveAborts closes the ROADMAP speculative-
+// issuance item: when a concurrently issued wave aborts on a terminal
+// error, the queries spent by the speculatively-run later walks are
+// counted — deterministically across worker counts — while sequential
+// execution wastes nothing.
+func TestWastedQueriesCountsWaveAborts(t *testing.T) {
+	if got := wasteAfterFailedStep(t, 1); got != 0 {
+		t.Fatalf("sequential execution wasted %d queries, want 0", got)
+	}
+	w4 := wasteAfterFailedStep(t, 4)
+	if w4 == 0 {
+		t.Fatal("concurrent wave abort wasted 0 queries, expected > 0")
+	}
+	if w8 := wasteAfterFailedStep(t, 8); w8 != w4 {
+		t.Fatalf("waste not deterministic across worker counts: par=4 → %d, par=8 → %d", w4, w8)
+	}
+}
+
+// TestWastedQueriesSurvivesCheckpoint verifies the counter rides the
+// persistence snapshot like every other lifetime stat.
+func TestWastedQueriesSurvivesCheckpoint(t *testing.T) {
+	te := newTestEnv(t, 62, 6000, 5400, 100)
+	c := cfg(62 + 7)
+	c.Parallelism = 4
+	e, err := NewReissue(te.env.Store.Schema(), []*agg.Aggregate{agg.CountAll()}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := &depthFailSession{Session: te.iface.NewSession(400), failDepth: 1}
+	if err := e.Step(sess); !errors.Is(err, errSiteDown) {
+		t.Fatalf("Step error = %v, want %v", err, errSiteDown)
+	}
+	want := e.WastedQueries()
+	if want == 0 {
+		t.Fatal("no waste recorded before checkpoint")
+	}
+	var buf bytes.Buffer
+	if err := Save(e, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, te.env.Store.Schema(), []*agg.Aggregate{agg.CountAll()}, cfg(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.WastedQueries(); got != want {
+		t.Fatalf("wasted after resume = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/dynagg/dynagg/internal/agg"
+	"github.com/dynagg/dynagg/internal/fleet"
+	"github.com/dynagg/dynagg/internal/hiddendb"
+	"github.com/dynagg/dynagg/internal/tracking"
+	"github.com/dynagg/dynagg/internal/workload"
+)
+
+func init() { register("fleet", FleetEquivalence) }
+
+// FleetEquivalence is the multi-tenant serving scenario: a fleet manager
+// tracks several aggregates at once — one task per estimator algorithm,
+// unequal weights, one shared per-tick query budget — and every task's
+// estimate stream is checked bit-for-bit against a standalone
+// tracking.Service given the same seed and an equal per-round budget.
+// The figure plots the per-task fleet estimates next to the databases'
+// true sizes; the runner FAILS (returns an error) if any fleet estimate
+// differs from its standalone twin in a single bit, so regenerating this
+// figure is itself the determinism proof.
+func FleetEquivalence(opt Options) (*Figure, error) {
+	rounds := 8
+	n, initial := 12000, 10800
+	if opt.FullScale {
+		rounds, n, initial = 20, 40000, 36000
+	}
+	specs := []struct {
+		algo   string
+		weight int
+	}{
+		{"RESTART", 1},
+		{"REISSUE", 2},
+		{"RS", 3},
+	}
+	const unitBudget = 100
+
+	type side struct {
+		env  *workload.Env
+		id   string
+		algo string
+		g    int
+		seed int64
+	}
+	mkSides := func() []*side {
+		out := make([]*side, len(specs))
+		for i, sp := range specs {
+			seed := opt.Seed + int64(1000*i)
+			data := workload.AutosLikeN(seed, n, 10)
+			env, err := workload.NewEnv(data, initial, seed+1)
+			if err != nil {
+				panic(err) // deterministic construction; cannot fail past development
+			}
+			out[i] = &side{
+				env:  env,
+				id:   fmt.Sprintf("task%d-%s", i, sp.algo),
+				algo: sp.algo,
+				g:    unitBudget * sp.weight,
+				seed: seed + 7,
+			}
+		}
+		return out
+	}
+	churn := func(env *workload.Env) func(int) error {
+		return func(tick int) error {
+			if tick == 1 {
+				return nil
+			}
+			if err := env.InsertFromPool(n / 100); err != nil {
+				return err
+			}
+			return env.DeleteFraction(0.003)
+		}
+	}
+
+	// Fleet side: one manager, one target per task, weighted shares of
+	// the global tick budget equal to each standalone budget.
+	fleetSides := mkSides()
+	targets := make(map[string]fleet.Target, len(fleetSides))
+	tickBudget := 0
+	for _, s := range fleetSides {
+		iface := hiddendb.NewIface(s.env.Store, 100, nil)
+		targets["db-"+s.id] = fleet.Target{
+			Schema:  iface.Schema(),
+			Source:  func(g int) tracking.Session { return iface.NewSession(g) },
+			PreTick: churn(s.env),
+		}
+		tickBudget += s.g
+	}
+	mgr, err := fleet.New(fleet.Config{TickBudget: tickBudget, Targets: targets})
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range fleetSides {
+		err := mgr.Add(fleet.TaskSpec{
+			ID:          s.id,
+			Target:      "db-" + s.id,
+			Algorithm:   s.algo,
+			Weight:      specs[i].weight,
+			Seed:        s.seed,
+			Parallelism: opt.Parallelism,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	fleetEst := make([][]float64, len(fleetSides))
+	truth := make([][]float64, len(fleetSides))
+	for r := 0; r < rounds; r++ {
+		mgr.TickOnce()
+		for i, s := range fleetSides {
+			ts, ok := mgr.TaskView(s.id)
+			if !ok {
+				return nil, fmt.Errorf("fleet: task %s vanished", s.id)
+			}
+			if ts.LastError != "" {
+				return nil, fmt.Errorf("fleet: task %s round %d: %s", s.id, r+1, ts.LastError)
+			}
+			if ts.GrantedLast != s.g {
+				return nil, fmt.Errorf("fleet: task %s granted %d, want weighted share %d",
+					s.id, ts.GrantedLast, s.g)
+			}
+			fleetEst[i] = append(fleetEst[i], ts.View.Estimates[0].Value)
+			truth[i] = append(truth[i], float64(s.env.Store.Size()))
+		}
+	}
+
+	// Standalone side: the same tasks as plain tracking services.
+	standaloneSides := mkSides()
+	for i, s := range standaloneSides {
+		iface := hiddendb.NewIface(s.env.Store, 100, nil)
+		svc, err := tracking.New(iface.Schema(),
+			func(g int) tracking.Session { return iface.NewSession(g) },
+			tracking.Config{
+				Algorithm:   s.algo,
+				Aggregates:  []*agg.Aggregate{agg.CountAll()},
+				Budget:      s.g,
+				Seed:        s.seed,
+				Parallelism: opt.Parallelism,
+				PreRound:    churn(s.env),
+			})
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < rounds; r++ {
+			if err := svc.StepOnce(); err != nil {
+				return nil, fmt.Errorf("standalone %s round %d: %w", s.id, r+1, err)
+			}
+			got := svc.CurrentView().Estimates[0].Value
+			if want := fleetEst[i][r]; math.Float64bits(got) != math.Float64bits(want) {
+				return nil, fmt.Errorf(
+					"fleet diverged from standalone: task %s round %d: fleet %v vs standalone %v",
+					s.id, r+1, want, got)
+			}
+		}
+	}
+
+	f := &Figure{
+		ID:     "fleet",
+		Title:  "Multi-tenant fleet: weighted fair sharing, per-task estimates ≡ standalone trackers",
+		XLabel: "round",
+		YLabel: "COUNT(*) estimate",
+		X:      roundsAxis(rounds),
+	}
+	for i, s := range fleetSides {
+		f.AddSeries(fmt.Sprintf("%s (G=%d)", s.algo, s.g), fleetEst[i])
+		f.AddSeries(fmt.Sprintf("truth %d", i), truth[i])
+	}
+	st := mgr.Status()
+	f.Notes = append(f.Notes,
+		fmt.Sprintf("verified: every fleet estimate bit-identical to its standalone tracking.Service twin (%d tasks × %d rounds)",
+			len(fleetSides), rounds),
+		fmt.Sprintf("fleet spent %d queries over %d rounds (tick budget %d, wasted %d)",
+			st.QueriesTotal, st.RoundsTotal, tickBudget, st.WastedTotal),
+	)
+	return f, nil
+}

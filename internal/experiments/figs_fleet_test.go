@@ -1,0 +1,16 @@
+package experiments
+
+import "testing"
+
+// TestFleetEquivalenceScenario regenerates the "fleet" scenario, whose
+// runner errors if any fleet estimate differs from its standalone twin
+// by a single bit — so this test IS the cross-layer determinism check.
+func TestFleetEquivalenceScenario(t *testing.T) {
+	fig, err := Run("fleet", Options{Seed: 3, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) == 0 || len(fig.Series[0].Y) == 0 {
+		t.Fatalf("empty figure: %+v", fig)
+	}
+}

@@ -1,0 +1,58 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/dynagg/dynagg/internal/hiddendb"
+	"github.com/dynagg/dynagg/internal/workload"
+	"github.com/dynagg/dynagg/webiface"
+)
+
+// BenchmarkFleetScheduler measures one scheduler tick over a fleet of
+// remote tasks all sharing ONE pooled webiface client against one
+// dynagg-serve-style handler: the per-task cost of the control-plane
+// layer (allocation, stepping, checkpoint-less view publication) on top
+// of the actual query traffic. tasks=1 vs tasks=8 shows how the fixed
+// tick budget amortises across a growing fleet (each task's share
+// shrinks, total wire traffic per tick stays ~constant).
+func BenchmarkFleetScheduler(b *testing.B) {
+	data := workload.AutosLikeN(1, 8000, 8)
+	env, err := workload.NewEnv(data, 7200, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	iface := hiddendb.NewIface(env.Store, 100, nil)
+	srv := httptest.NewServer(webiface.NewHandler(iface))
+	defer srv.Close()
+
+	for _, tasks := range []int{1, 8} {
+		b.Run(fmt.Sprintf("tasks=%d", tasks), func(b *testing.B) {
+			mgr, err := New(Config{TickBudget: 256})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < tasks; i++ {
+				err := mgr.Add(TaskSpec{
+					ID:          fmt.Sprintf("t%d", i),
+					Remote:      srv.URL,
+					Algorithm:   "REISSUE",
+					Seed:        int64(100 + i),
+					Parallelism: 4,
+					MaxDrills:   500,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if got := mgr.pool.Size(); got != 1 {
+				b.Fatalf("pool holds %d clients, want 1 shared", got)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mgr.TickOnce()
+			}
+		})
+	}
+}

@@ -1,0 +1,81 @@
+package fleet
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/dynagg/dynagg/webiface"
+)
+
+// ClientPool shares webiface.Clients across fleet tasks, keyed by the
+// remote host (normalised base URL) plus the API key the tasks present.
+// Many tasks tracking aggregates on one remote dynagg-serve therefore
+// queue on ONE client's rate limiter instead of hammering the site with
+// independent request streams — the client is concurrent-safe, and its
+// MinInterval slots are handed out under its own mutex.
+//
+// Tasks presenting different API keys get different clients: the server
+// accounts per-key budgets, so folding two keys onto one client would
+// tie their rate limiting together while their budgets stay separate.
+//
+// Dialing (the schema fetch) happens OUTSIDE the pool map lock, under a
+// per-key entry lock: a slow or dead remote can delay only callers
+// asking for that same remote, never a Get for another host, and never
+// Size() — which the scheduler's Status path calls and therefore must
+// not queue behind a 30s dial.
+type ClientPool struct {
+	opts webiface.ClientOptions
+
+	mu      sync.Mutex // guards the entries map only — never held while dialing
+	entries map[string]*poolEntry
+	dialed  atomic.Int64 // successfully dialed clients (lock-free Size)
+}
+
+// poolEntry serialises dials for one key. Entries are never removed: a
+// failed dial leaves c nil, which IS the retry signal for the next Get —
+// removal would let a waiter succeed on an orphaned entry and a later
+// Get register a second client (two rate limiters) for the same key.
+type poolEntry struct {
+	mu sync.Mutex
+	c  *webiface.Client // nil until a dial succeeds
+}
+
+// NewClientPool builds a pool whose clients use opts as their defaults
+// (the per-task API key overrides opts.APIKey).
+func NewClientPool(opts webiface.ClientOptions) *ClientPool {
+	return &ClientPool{opts: opts, entries: make(map[string]*poolEntry)}
+}
+
+// Get returns the shared client for the given base URL and API key,
+// dialing (schema fetch) on first use. Concurrent Gets for one key are
+// serialised so the schema is fetched once; a failed dial is not cached.
+func (p *ClientPool) Get(base, apiKey string) (*webiface.Client, error) {
+	key := strings.TrimRight(base, "/") + "\x00" + apiKey
+	p.mu.Lock()
+	e, ok := p.entries[key]
+	if !ok {
+		e = &poolEntry{}
+		p.entries[key] = e
+	}
+	p.mu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.c != nil {
+		return e.c, nil
+	}
+	opts := p.opts
+	opts.APIKey = apiKey
+	c, err := webiface.Dial(base, opts)
+	if err != nil {
+		return nil, err
+	}
+	e.c = c
+	p.dialed.Add(1)
+	return c, nil
+}
+
+// Size returns the number of distinct dialed clients (diagnostics).
+// Lock-free: the Status path must never wait behind an in-flight dial.
+func (p *ClientPool) Size() int { return int(p.dialed.Load()) }

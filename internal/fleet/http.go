@@ -1,0 +1,170 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"github.com/dynagg/dynagg/internal/metrics"
+)
+
+// Handler exposes the fleet control plane:
+//
+//	GET    /status              → fleet Status (ticks, budgets, per-task rows)
+//	GET    /healthz             → 200 once a tick completed, 503 before
+//	GET    /metrics             → Prometheus-style plaintext
+//	GET    /tasks               → all TaskStatus rows
+//	POST   /tasks               → add a task (TaskSpec JSON body)
+//	GET    /tasks/{id}          → one TaskStatus
+//	DELETE /tasks/{id}          → remove the task (checkpoint retained)
+//	POST   /tasks/{id}/pause    → pause from the next tick
+//	POST   /tasks/{id}/resume   → resume from the next tick
+//	GET    /tasks/{id}/estimates→ the task's current estimates array
+//
+// Mutations only touch the task table (manager mutex) and take effect at
+// the next tick boundary; reads serve immutable views and never block
+// the scheduler.
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Status())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Readiness probes fire often: answer from cheap counters instead
+		// of assembling the full per-task Status — and key on ticks THIS
+		// process completed, so a freshly restarted fleet (whose restored
+		// lifetime counter is already high) only reports ready once its
+		// own scheduler has actually advanced.
+		ticks := m.ProcessTicks()
+		code := http.StatusOK
+		if ticks == 0 {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, map[string]any{
+			"ticks_this_process": ticks,
+			"ticks":              m.Ticks(),
+			"tasks":              m.TaskCount(),
+		})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		m.serveMetrics(w)
+	})
+	mux.HandleFunc("GET /tasks", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Status().Tasks)
+	})
+	mux.HandleFunc("POST /tasks", func(w http.ResponseWriter, r *http.Request) {
+		var spec TaskSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, "decode task spec: "+err.Error())
+			return
+		}
+		if err := m.Add(spec); err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrTaskExists) {
+				code = http.StatusConflict
+			}
+			httpError(w, code, err.Error())
+			return
+		}
+		ts, _ := m.TaskView(spec.ID)
+		writeJSON(w, http.StatusCreated, ts)
+	})
+	mux.HandleFunc("GET /tasks/{id}", func(w http.ResponseWriter, r *http.Request) {
+		ts, ok := m.TaskView(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such task")
+			return
+		}
+		writeJSON(w, http.StatusOK, ts)
+	})
+	mux.HandleFunc("DELETE /tasks/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := m.Remove(r.PathValue("id")); err != nil {
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"removed": r.PathValue("id")})
+	})
+	setPaused := func(paused bool) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			id := r.PathValue("id")
+			if err := m.SetPaused(id, paused); err != nil {
+				httpError(w, http.StatusNotFound, err.Error())
+				return
+			}
+			ts, _ := m.TaskView(id)
+			writeJSON(w, http.StatusOK, ts)
+		}
+	}
+	mux.HandleFunc("POST /tasks/{id}/pause", setPaused(true))
+	mux.HandleFunc("POST /tasks/{id}/resume", setPaused(false))
+	mux.HandleFunc("GET /tasks/{id}/estimates", func(w http.ResponseWriter, r *http.Request) {
+		ts, ok := m.TaskView(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such task")
+			return
+		}
+		writeJSON(w, http.StatusOK, ts.View.Estimates)
+	})
+	return mux
+}
+
+// serveMetrics renders the fleet snapshot as Prometheus plaintext,
+// fleet-level families first, then per-task samples labelled by task ID
+// (tasks are already in ascending-ID order).
+func (m *Manager) serveMetrics(w http.ResponseWriter) {
+	st := m.Status()
+	var b metrics.Builder
+	b.Family("dynagg_fleet_ticks_total", "counter", "Scheduler ticks completed (lifetime, survives restart).")
+	b.Int("dynagg_fleet_ticks_total", st.Ticks)
+	b.Family("dynagg_fleet_tick_budget", "gauge", "Global per-tick query budget (0 = unlimited).")
+	b.Int("dynagg_fleet_tick_budget", st.TickBudget)
+	b.Family("dynagg_fleet_tasks", "gauge", "Registered tasks.")
+	b.Int("dynagg_fleet_tasks", st.TaskCount)
+	b.Family("dynagg_fleet_tasks_paused", "gauge", "Paused tasks.")
+	b.Int("dynagg_fleet_tasks_paused", st.PausedCount)
+	b.Family("dynagg_fleet_pooled_clients", "gauge", "Distinct pooled remote clients.")
+	b.Int("dynagg_fleet_pooled_clients", st.PooledClients)
+	b.Family("dynagg_fleet_queries_total", "counter", "Queries issued by this process across all tasks.")
+	b.Int("dynagg_fleet_queries_total", st.QueriesTotal)
+	b.Family("dynagg_fleet_wasted_queries_total", "counter", "Speculatively issued queries never applied, across all tasks.")
+	b.Int("dynagg_fleet_wasted_queries_total", st.WastedTotal)
+	b.Family("dynagg_fleet_rounds_total", "counter", "Task rounds completed by this process.")
+	b.Int("dynagg_fleet_rounds_total", st.RoundsTotal)
+
+	b.Family("dynagg_fleet_task_round", "gauge", "Estimator round per task (lifetime).")
+	for _, t := range st.Tasks {
+		b.Int("dynagg_fleet_task_round", t.View.Round, "task", t.ID)
+	}
+	b.Family("dynagg_fleet_task_queries_total", "counter", "Queries issued per task by this process.")
+	for _, t := range st.Tasks {
+		b.Int("dynagg_fleet_task_queries_total", t.View.QueriesTotal, "task", t.ID)
+	}
+	b.Family("dynagg_fleet_task_wasted_queries_total", "counter", "Speculative waste per task (estimator lifetime).")
+	for _, t := range st.Tasks {
+		b.Int("dynagg_fleet_task_wasted_queries_total", t.View.Wasted, "task", t.ID)
+	}
+	b.Family("dynagg_fleet_task_budget_granted", "gauge", "Budget granted at the task's last scheduled tick.")
+	for _, t := range st.Tasks {
+		b.Int("dynagg_fleet_task_budget_granted", t.GrantedLast, "task", t.ID)
+	}
+	b.Family("dynagg_fleet_task_estimate", "gauge", "Current estimate per task and aggregate.")
+	for _, t := range st.Tasks {
+		for _, e := range t.View.Estimates {
+			if e.OK {
+				b.Value("dynagg_fleet_task_estimate", e.Value, "task", t.ID, "aggregate", e.Aggregate)
+			}
+		}
+	}
+	w.Header().Set("Content-Type", metrics.ContentType)
+	_, _ = b.WriteTo(w)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

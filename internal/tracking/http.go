@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"time"
+
+	"github.com/dynagg/dynagg/internal/metrics"
 )
 
 // Handler exposes the service's current state over HTTP:
@@ -13,9 +15,12 @@ import (
 //	GET /estimates → just the estimates array
 //	GET /healthz   → 200 once at least one round completed without a
 //	                 step error, 503 before that (readiness probe)
+//	GET /metrics   → Prometheus-style plaintext gauges (rounds, query
+//	                 counts, budget, wasted speculative queries)
 //
-// All responses are JSON. Reads never block a running round: they serve
-// the immutable View published at the previous round boundary.
+// All responses except /metrics are JSON. Reads never block a running
+// round: they serve the immutable View published at the previous round
+// boundary.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
@@ -32,6 +37,9 @@ func (s *Service) Handler() http.Handler {
 		}
 		_ = json.NewEncoder(w).Encode(map[string]any{"steps": v.Steps, "last_error": v.LastError})
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.serveMetrics(w)
+	})
 	return mux
 }
 
@@ -43,6 +51,41 @@ type statusWire struct {
 
 func (s *Service) statusView() statusWire {
 	return statusWire{View: s.CurrentView(), UptimeSeconds: time.Since(s.start).Seconds()}
+}
+
+// serveMetrics renders the current view as Prometheus plaintext. Like
+// every other read it touches only the immutable published View.
+func (s *Service) serveMetrics(w http.ResponseWriter) {
+	v := s.CurrentView()
+	var b metrics.Builder
+	b.Family("dynagg_track_rounds_total", "counter", "Estimator rounds completed over its lifetime (survives resume).")
+	b.Int("dynagg_track_rounds_total", v.Round)
+	b.Family("dynagg_track_steps_total", "counter", "Rounds completed by this process.")
+	b.Int("dynagg_track_steps_total", v.Steps)
+	b.Family("dynagg_track_queries_total", "counter", "Queries issued by this process across all rounds.")
+	b.Int("dynagg_track_queries_total", v.QueriesTotal)
+	b.Family("dynagg_track_queries_last_round", "gauge", "Queries consumed by the last round.")
+	b.Int("dynagg_track_queries_last_round", v.UsedLast)
+	b.Family("dynagg_track_budget_last_round", "gauge", "Query budget granted to the last round (0 = unlimited).")
+	b.Int("dynagg_track_budget_last_round", v.Budget)
+	b.Family("dynagg_track_budget_remaining_last_round", "gauge", "Unused budget of the last round (-1 when unlimited).")
+	if v.Budget > 0 {
+		b.Int("dynagg_track_budget_remaining_last_round", v.Budget-v.UsedLast)
+	} else {
+		b.Int("dynagg_track_budget_remaining_last_round", -1)
+	}
+	b.Family("dynagg_track_wasted_queries_total", "counter", "Speculatively issued queries whose walks were never applied (estimator lifetime).")
+	b.Int("dynagg_track_wasted_queries_total", v.Wasted)
+	b.Family("dynagg_track_drill_downs_total", "counter", "Drill-down operations completed (estimator lifetime).")
+	b.Int("dynagg_track_drill_downs_total", v.Drills)
+	b.Family("dynagg_track_estimate", "gauge", "Current estimate per tracked aggregate.")
+	for _, e := range v.Estimates {
+		if e.OK {
+			b.Value("dynagg_track_estimate", e.Value, "aggregate", e.Aggregate)
+		}
+	}
+	w.Header().Set("Content-Type", metrics.ContentType)
+	_, _ = b.WriteTo(w)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

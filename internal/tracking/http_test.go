@@ -1,0 +1,89 @@
+package tracking
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHandlerConcurrentReaders hammers every HTTP endpoint from 32
+// concurrent clients while the Run loop advances rounds — the service's
+// reader contract (immutable views published under the mutex, readers
+// never touching the estimator) under the race detector (make race).
+func TestHandlerConcurrentReaders(t *testing.T) {
+	svc, _ := newLocalService(t, 500, "")
+	svc.cfg.MaxRounds = 6
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- svc.Run(context.Background()) }()
+
+	paths := []string{"/status", "/estimates", "/healthz", "/metrics"}
+	var wg sync.WaitGroup
+	for c := 0; c < 32; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				resp, err := http.Get(srv.URL + paths[(c+i)%len(paths)])
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("client %d read: %v", c, err)
+					return
+				}
+				if resp.StatusCode >= 500 && resp.StatusCode != 503 {
+					t.Errorf("client %d: %d %s", c, resp.StatusCode, body)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run did not finish MaxRounds")
+	}
+	if got := svc.CurrentView().Round; got != 6 {
+		t.Fatalf("rounds completed = %d, want 6", got)
+	}
+
+	// The metrics endpoint renders the final immutable view, including
+	// the speculative-waste counter surfaced for the ROADMAP item.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"dynagg_track_rounds_total 6",
+		"dynagg_track_queries_total",
+		"dynagg_track_wasted_queries_total",
+		"dynagg_track_budget_last_round 300",
+		"dynagg_track_estimate{aggregate=\"COUNT(*)\"}",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -12,11 +12,13 @@
 // Amazon and eBay for weeks is exactly a Service with a daily Interval.
 //
 // Concurrency: the estimator inside a Service stays single-goroutine —
-// only the Run loop (or one StepOnce caller at a time) advances it; the
-// estimator's own execution engine fans the round's drill-down walks out
-// over Config.Parallelism goroutines internally. HTTP readers never touch
-// the estimator: each round publishes an immutable view under the
-// service mutex.
+// only one stepping goroutine at a time advances it: the service's own
+// Run loop, a StepOnce/StepBudget caller, or a fleet scheduler
+// (internal/fleet) that owns the service as one of its tasks — never two
+// of these at once. The estimator's own execution engine fans the
+// round's drill-down walks out over Config.Parallelism goroutines
+// internally. HTTP readers never touch the estimator: each round
+// publishes an immutable view under the service mutex.
 package tracking
 
 import (
@@ -88,6 +90,10 @@ type Service struct {
 	source SessionSource
 	start  time.Time
 
+	// totalQueries accumulates session usage across this process's steps.
+	// Owned by the stepping goroutine; readers see the copy in the view.
+	totalQueries int
+
 	mu      sync.RWMutex
 	est     estimator.Estimator // guarded: Step on the run goroutine, reads via view
 	view    View
@@ -96,10 +102,20 @@ type Service struct {
 
 // View is the immutable per-round publication HTTP readers consume.
 type View struct {
-	Algorithm string           `json:"algorithm"`
-	Round     int              `json:"round"`
-	Budget    int              `json:"budget"`
-	UsedLast  int              `json:"used_last_round"`
+	Algorithm string `json:"algorithm"`
+	Round     int    `json:"round"`
+	// Budget is the query budget granted to the last executed round
+	// (Config.Budget before any step). Under a fleet scheduler it is the
+	// task's weighted-fair share of the tick budget, which may vary.
+	Budget   int `json:"budget"`
+	UsedLast int `json:"used_last_round"`
+	// QueriesTotal is the cumulative session usage of this process (a
+	// resumed service restarts it at 0; Round keeps lifetime continuity).
+	QueriesTotal int `json:"queries_total"`
+	// Wasted is the estimator's lifetime count of speculatively issued
+	// queries whose walks were never applied — the price of concurrent
+	// issuance on rounds that abort (persisted with the checkpoint).
+	Wasted    int              `json:"wasted_queries"`
 	Drills    int              `json:"drill_downs"`
 	Steps     int              `json:"steps_this_process"`
 	Resumed   bool             `json:"resumed"`
@@ -178,7 +194,7 @@ func New(sch *schema.Schema, source SessionSource, cfg Config) (*Service, error)
 		}
 	}
 	s := &Service{cfg: cfg, source: source, est: est, start: time.Now()}
-	s.view = s.buildView(resumed, 0, nil)
+	s.view = s.buildView(cfg.Budget, resumed, 0, nil)
 	return s, nil
 }
 
@@ -193,17 +209,19 @@ func (s *Service) CurrentView() View {
 }
 
 // buildView snapshots the estimator into an immutable View. Callers must
-// hold no lock; the estimator must be quiescent (New, or the Run loop
-// between steps).
-func (s *Service) buildView(resumed bool, steps int, stepErr error) View {
+// hold no lock; the estimator must be quiescent (New, or the stepping
+// goroutine between steps).
+func (s *Service) buildView(budget int, resumed bool, steps int, stepErr error) View {
 	v := View{
-		Algorithm: s.est.Name(),
-		Round:     s.est.Round(),
-		Budget:    s.cfg.Budget,
-		UsedLast:  s.est.UsedLastRound(),
-		Drills:    s.est.DrillDowns(),
-		Steps:     steps,
-		Resumed:   resumed,
+		Algorithm:    s.est.Name(),
+		Round:        s.est.Round(),
+		Budget:       budget,
+		UsedLast:     s.est.UsedLastRound(),
+		QueriesTotal: s.totalQueries,
+		Wasted:       s.est.WastedQueries(),
+		Drills:       s.est.DrillDowns(),
+		Steps:        steps,
+		Resumed:      resumed,
 	}
 	if stepErr != nil {
 		v.LastError = stepErr.Error()
@@ -224,18 +242,25 @@ func (s *Service) buildView(resumed bool, steps int, stepErr error) View {
 	return v
 }
 
-// StepOnce advances the tracker by one budgeted round: PreRound churn (if
-// any), one estimator Step, a checkpoint write, and the view publication.
-// It must not be called concurrently with itself or Run. A Step error is
-// recorded in the view and returned; the service remains usable — the
-// next round may succeed (e.g. a transient network failure against a
-// remote database).
-func (s *Service) StepOnce() error {
+// StepOnce advances the tracker by one round budgeted at Config.Budget:
+// PreRound churn (if any), one estimator Step, a checkpoint write, and
+// the view publication. It must not be called concurrently with itself,
+// StepBudget or Run. A Step error is recorded in the view and returned;
+// the service remains usable — the next round may succeed (e.g. a
+// transient network failure against a remote database).
+func (s *Service) StepOnce() error { return s.StepBudget(s.cfg.Budget) }
+
+// StepBudget is StepOnce with an explicit round budget overriding
+// Config.Budget — the entry point a fleet scheduler (internal/fleet)
+// uses to hand each task its weighted-fair share of a global tick
+// budget. Given the same sequence of budgets and the same seed, a
+// service produces byte-identical estimates no matter who drives it.
+func (s *Service) StepBudget(g int) error {
 	s.mu.RLock()
 	resumed, steps := s.view.Resumed, s.view.Steps
 	s.mu.RUnlock()
 
-	err := s.stepEstimator()
+	err := s.stepEstimator(g)
 	if err == nil {
 		if cerr := s.checkpoint(); cerr != nil {
 			err = cerr
@@ -243,7 +268,7 @@ func (s *Service) StepOnce() error {
 			steps++
 		}
 	}
-	v := s.buildView(resumed, steps, err)
+	v := s.buildView(g, resumed, steps, err)
 	v.LastStep = time.Now()
 	s.mu.Lock()
 	s.view = v
@@ -252,13 +277,16 @@ func (s *Service) StepOnce() error {
 	return err
 }
 
-func (s *Service) stepEstimator() error {
+func (s *Service) stepEstimator(g int) error {
 	if s.cfg.PreRound != nil {
 		if err := s.cfg.PreRound(s.est.Round() + 1); err != nil {
 			return fmt.Errorf("tracking: pre-round: %w", err)
 		}
 	}
-	return s.est.Step(s.source(s.cfg.Budget))
+	sess := s.source(g)
+	err := s.est.Step(sess)
+	s.totalQueries += sess.Used()
+	return err
 }
 
 // checkpoint writes the estimator snapshot atomically (temp file +

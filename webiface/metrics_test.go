@@ -1,0 +1,64 @@
+package webiface
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestMetricsEndpoint exercises the Prometheus-plaintext serving
+// diagnostics: query counts, store version and per-key budget
+// accounting, with keys emitted in sorted order.
+func TestMetricsEndpoint(t *testing.T) {
+	_, srv := newServer(t, 11, 2000, 50)
+	defer srv.Close()
+
+	// Issue a couple of searches under two keys so the per-key families
+	// have content.
+	for _, key := range []string{"alpha", "beta", "alpha"} {
+		req, err := http.NewRequest(http.MethodGet, srv.URL+"/search", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-API-Key", key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("search: %d", resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	if got := resp.Header.Get("Content-Type"); !strings.HasPrefix(got, "text/plain") {
+		t.Fatalf("content type %q", got)
+	}
+	for _, want := range []string{
+		"dynagg_serve_queries_total 3",
+		"dynagg_serve_store_version",
+		"dynagg_serve_per_key_budget 0",
+		`dynagg_serve_key_queries_used{key="alpha"} 2`,
+		`dynagg_serve_key_queries_used{key="beta"} 1`,
+		`dynagg_serve_key_budget_remaining{key="alpha"} -1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	// Keys must appear in sorted order for diffable scrapes.
+	if strings.Index(body, `key="alpha"`) > strings.Index(body, `key="beta"`) {
+		t.Error("per-key samples not sorted")
+	}
+}

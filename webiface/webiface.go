@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"github.com/dynagg/dynagg/internal/hiddendb"
+	"github.com/dynagg/dynagg/internal/metrics"
 	"github.com/dynagg/dynagg/internal/schema"
 )
 
@@ -66,6 +67,8 @@ type wireAttr struct {
 //	GET /schema           → wireSchema
 //	GET /search?where=... → wireResult
 //	GET /stats            → wireStats
+//	GET /metrics          → Prometheus-style plaintext (query counts,
+//	                        store version, per-key budget accounting)
 //
 // A Handler is safe for concurrent use by any number of clients: queries
 // are answered against the interface's immutable snapshot of the current
@@ -123,9 +126,48 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.serveSearch(w, r)
 	case "/stats":
 		h.serveStats(w)
+	case "/metrics":
+		h.serveMetrics(w)
 	default:
 		http.NotFound(w, r)
 	}
+}
+
+// serveMetrics renders serving diagnostics as Prometheus plaintext: the
+// lifetime query count, the store version the interface answers for, and
+// the per-API-key round-budget accounting (keys emitted in sorted order
+// so scrapes are diffable). Like /stats it omits |D| — hiding the size
+// is the whole point of the interface.
+func (h *Handler) serveMetrics(w http.ResponseWriter) {
+	h.mu.Lock()
+	budget := h.perKeyBudget
+	used := make(map[string]int, len(h.used))
+	for k, v := range h.used {
+		used[k] = v
+	}
+	h.mu.Unlock()
+
+	var b metrics.Builder
+	b.Family("dynagg_serve_queries_total", "counter", "Lifetime queries answered across all clients.")
+	b.Value("dynagg_serve_queries_total", float64(h.iface.TotalQueries()))
+	b.Family("dynagg_serve_store_version", "gauge", "Store version currently answered from.")
+	b.Value("dynagg_serve_store_version", float64(h.iface.Version()))
+	b.Family("dynagg_serve_per_key_budget", "gauge", "Per-API-key query budget per round (0 = unlimited).")
+	b.Int("dynagg_serve_per_key_budget", budget)
+	b.Family("dynagg_serve_key_queries_used", "gauge", "Queries charged to each API key this round.")
+	for _, k := range metrics.SortedKeys(used) {
+		b.Int("dynagg_serve_key_queries_used", used[k], "key", k)
+	}
+	b.Family("dynagg_serve_key_budget_remaining", "gauge", "Budget left for each API key this round (-1 when unlimited).")
+	for _, k := range metrics.SortedKeys(used) {
+		if budget > 0 {
+			b.Int("dynagg_serve_key_budget_remaining", budget-used[k], "key", k)
+		} else {
+			b.Int("dynagg_serve_key_budget_remaining", -1, "key", k)
+		}
+	}
+	w.Header().Set("Content-Type", metrics.ContentType)
+	_, _ = b.WriteTo(w)
 }
 
 // wireStats is the JSON encoding of the serving diagnostics endpoint.
