@@ -24,12 +24,14 @@ fmt-check:
 	fi
 
 # race exercises the parallel trial engine, the estimator execution
-# engine (concurrent drill-down walks sharing one session), the tracking
-# service (32 HTTP readers while Run advances rounds), the fleet
-# scheduler + control plane (readers and task-table writers racing the
-# tick loop), the snapshot engine's concurrent-reader contract (32
-# sessions on one Iface) and the HTTP serving layer (32 concurrent
-# clients on one handler) under the race detector.
+# engine (concurrent drill-down walks sharing one session, sequential
+# and lockstep-batched), the tracking service (32 HTTP readers while Run
+# advances rounds), the fleet scheduler + control plane (readers and
+# task-table writers racing the tick loop), the snapshot engine's
+# concurrent-reader contract (32 sessions on one Iface), the sharded
+# store's scatter-gather path (32 epoch-pinned sessions racing per-shard
+# mutator goroutines and epoch publication) and the HTTP serving layer
+# (32 concurrent clients on one handler) under the race detector.
 race:
 	$(GO) test -race ./internal/experiments/ ./internal/estimator/ \
 		./internal/tracking/ ./internal/fleet/ ./internal/hiddendb/ ./webiface/
@@ -42,10 +44,11 @@ bench:
 
 # bench-serving runs the serving-path benchmarks (prefix vs non-prefix
 # snapshot answering, query-key encoding, concurrent sessions, the
-# estimator executor's sequential-vs-concurrent drill-down issuance, and
-# the fleet scheduler tick at tasks=1 vs tasks=8 on one shared remote)
-# and emits machine-readable results to BENCH_serving.json; CI archives
-# the file as an artifact, seeding the repo's perf trajectory.
+# estimator executor's sequential-vs-concurrent drill-down issuance,
+# sharded scatter-gather serving at shards=1/4/16 under mutation load,
+# and the fleet scheduler tick at tasks=1 vs tasks=8 on one shared
+# remote) and emits machine-readable results to BENCH_serving.json; CI
+# archives the file as an artifact, seeding the repo's perf trajectory.
 SERVING_BENCH := BenchmarkSnapshotPrefixQuery|BenchmarkSnapshotNonPrefix|BenchmarkQueryKey|BenchmarkServingConcurrent|BenchmarkConcurrentSessions|BenchmarkEstimatorExec|BenchmarkFleetScheduler
 BENCHTIME ?= 1s
 # Two steps (not a pipe) so a benchmark failure fails the target instead

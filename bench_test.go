@@ -319,6 +319,71 @@ func BenchmarkServingConcurrent(b *testing.B) {
 			wg.Wait()
 		})
 	}
+
+	// The sharded serving path: the same mixed workload scatter-gathered
+	// across N shards while a round driver churns the store with one
+	// mutator goroutine per shard and publishes a fresh epoch each round
+	// — throughput under realistic mutation load. shards=1 is the
+	// single-shard baseline the CI soft-check ratios against.
+	for _, shards := range []int{1, 4, 16} {
+		senv, err := workload.NewShardedEnv(data, 54000, 2, shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		siface := hiddendb.NewShardedIface(senv.Store, 100, nil)
+		siface.SetGatherWorkers(shards)
+		for _, q := range queries {
+			if _, err := siface.Search(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, w := range []int{1, 8} {
+			b.Run(fmt.Sprintf("shards=%d/clients=%d", shards, w), func(b *testing.B) {
+				stop := make(chan struct{})
+				var mutWG sync.WaitGroup
+				mutWG.Add(1)
+				go func() {
+					defer mutWG.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if err := senv.InsertFromPool(200); err != nil {
+							b.Error(err)
+							return
+						}
+						if err := senv.DeleteFraction(0.002); err != nil {
+							b.Error(err)
+							return
+						}
+						senv.Store.AdvanceEpoch()
+					}
+				}()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				per := b.N / w
+				for g := 0; g < w; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						s := siface.NewSession(0)
+						for i := 0; i < per; i++ {
+							if _, err := s.Search(queries[(g+i)%len(queries)]); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(g)
+				}
+				wg.Wait()
+				b.StopTimer()
+				close(stop)
+				mutWG.Wait()
+			})
+		}
+	}
 }
 
 // ---------------------------------------------------------------------

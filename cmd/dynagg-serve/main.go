@@ -10,12 +10,19 @@
 // /stats (JSON) and /metrics (Prometheus-style plaintext: query counts,
 // store version, per-key budget accounting).
 //
+// With -shards N the store is hash-partitioned N ways: each round's
+// churn is applied by one mutator goroutine per shard, a new version
+// epoch (one immutable snapshot per shard) is published at the round
+// boundary, and every query is answered by scatter-gather across the
+// pinned epoch — byte-identical to the unsharded store.
+//
 // Usage examples:
 //
 //	dynagg-serve                                  # 40k tuples on :8080
 //	dynagg-serve -addr :9090 -n 200000 -k 1000
 //	dynagg-serve -budget 500 -round 10s           # G=500 per key per round
 //	dynagg-serve -round 5s -insert 300 -delete 0.001
+//	dynagg-serve -shards 8 -gather 4 -round 10s   # sharded scatter-gather
 package main
 
 import (
@@ -45,6 +52,8 @@ func main() {
 		round  = flag.Duration("round", 0, "round length; every round applies churn and resets budgets (0 = static database)")
 		insert = flag.Int("insert", 300, "tuples inserted per round")
 		del    = flag.Float64("delete", 0.001, "fraction of tuples deleted per round")
+		shards = flag.Int("shards", 1, "hash-partition the store N ways (scatter-gather serving)")
+		gather = flag.Int("gather", 1, "scatter-gather goroutines per query in sharded mode")
 	)
 	flag.Parse()
 	if *init0 == 0 {
@@ -52,21 +61,72 @@ func main() {
 	}
 
 	data := dynagg.AutosLikeN(*seed, *n, *m)
-	env, err := dynagg.NewEnv(data, *init0, *seed+1)
-	if err != nil {
-		log.Fatal(err)
+
+	// backend abstracts over the sharded and unsharded serving stacks so
+	// the HTTP/lifecycle plumbing below is written once.
+	type backend struct {
+		iface   webiface.Backend
+		size    func() int
+		version func() uint64
+		queries func() uint64
+		churn   func() error // one round of churn + epoch publication
 	}
-	iface := dynagg.NewIface(env.Store, *k, nil)
-	h := webiface.NewHandler(iface)
+	var b backend
+	if *shards > 1 {
+		env, err := dynagg.NewShardedEnv(data, *init0, *seed+1, *shards)
+		if err != nil {
+			log.Fatal(err)
+		}
+		iface := dynagg.NewShardedIface(env.Store, *k, nil)
+		iface.SetGatherWorkers(*gather)
+		b = backend{
+			iface:   iface,
+			size:    env.Store.Size,
+			version: iface.Version,
+			queries: iface.TotalQueries,
+			churn: func() error {
+				// Churn fans out one mutator goroutine per shard; the new
+				// epoch is published only after every shard has applied
+				// its partition, so clients never see a torn round.
+				if err := env.InsertFromPool(*insert); err != nil {
+					return err
+				}
+				if err := env.DeleteFraction(*del); err != nil {
+					return err
+				}
+				env.Store.AdvanceEpoch()
+				return nil
+			},
+		}
+	} else {
+		env, err := dynagg.NewEnv(data, *init0, *seed+1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		iface := dynagg.NewIface(env.Store, *k, nil)
+		b = backend{
+			iface:   iface,
+			size:    env.Store.Size,
+			version: env.Store.Version,
+			queries: iface.TotalQueries,
+			churn: func() error {
+				if err := env.InsertFromPool(*insert); err != nil {
+					return err
+				}
+				return env.DeleteFraction(*del)
+			},
+		}
+	}
+	h := webiface.NewHandler(b.iface)
 	h.SetPerKeyBudget(*budget)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	if *round > 0 {
-		// The single mutator goroutine: the store's snapshot isolation
-		// lets it apply updates while clients keep reading the previous
-		// version.
+		// The round driver goroutine: snapshot isolation (per-shard in
+		// sharded mode) lets churn apply while clients keep reading the
+		// previous version/epoch.
 		go func() {
 			t := time.NewTicker(*round)
 			defer t.Stop()
@@ -76,15 +136,12 @@ func main() {
 					return
 				case <-t.C:
 				}
-				if err := env.InsertFromPool(*insert); err != nil {
-					log.Printf("round churn: %v", err)
-				}
-				if err := env.DeleteFraction(*del); err != nil {
+				if err := b.churn(); err != nil {
 					log.Printf("round churn: %v", err)
 				}
 				h.ResetBudgets()
 				log.Printf("round: |D|=%d version=%d queries=%d",
-					env.Store.Size(), env.Store.Version(), iface.TotalQueries())
+					b.size(), b.version(), b.queries())
 			}
 		}()
 	}
@@ -101,10 +158,10 @@ func main() {
 		}
 	}()
 
-	log.Printf("serving %d-tuple hidden database on %s (k=%d, m=%d, budget=%d, round=%s)",
-		env.Store.Size(), *addr, *k, *m, *budget, *round)
+	log.Printf("serving %d-tuple hidden database on %s (k=%d, m=%d, budget=%d, round=%s, shards=%d)",
+		b.size(), *addr, *k, *m, *budget, *round, *shards)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
-	log.Printf("drained; bye (served %d queries)", iface.TotalQueries())
+	log.Printf("drained; bye (served %d queries)", b.queries())
 }

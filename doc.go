@@ -84,6 +84,37 @@
 //     to one goroutine. Do not share one session across estimators or
 //     across rounds.
 //
+// # Sharded stores and epochs
+//
+// ShardedStore hash-partitions a store N ways on tuple ID (NewShardedStore;
+// ShardFor gives the owning shard). Each shard is a full Store with its own
+// sorted-tuple snapshot, version and posting lists, and the concurrency
+// contract scales per shard:
+//
+//   - Shard ownership: every mutation is routed to the tuple's owning
+//     shard; AT MOST ONE mutator goroutine per shard at a time.
+//     ApplyBatchParallel partitions a round's batch and applies it with
+//     exactly one goroutine per shard — the sharded write path at full
+//     width. Cross-shard batches are not atomic; the round driver owns
+//     recovery on a mid-batch error.
+//   - Epoch publication: an Epoch pins one immutable snapshot per shard
+//     under a single fleet-wide sequence number. AdvanceEpoch must be
+//     called from the round driver with all mutators quiescent (after
+//     ApplyBatchParallel returns); it snapshots every shard and
+//     publishes the set atomically. Readers never assemble their own
+//     cross-shard view — they read the published Epoch pointer.
+//   - Scatter-gather answering: ShardedIface answers Search and
+//     CountMatching by querying every pinned shard snapshot (optionally
+//     in parallel, SetGatherWorkers), merging in shard order and cutting
+//     the global top-k after the merge. Answers are byte-identical to an
+//     unsharded Iface over the same data for every shard count and every
+//     gather-goroutine count (the shard-equivalence fuzz proves this
+//     under churn for shards ∈ {1, 4, 16}).
+//   - Epoch-pinned sessions: ShardedIface.NewSession pins the epoch
+//     current at creation; every answer of that session — including
+//     SearchBatch — is served from that one epoch, so a round's session
+//     never observes two epochs no matter how many advance under it.
+//
 // The unit of parallelism for experiments remains one independent
 // Monte-Carlo TRIAL: the harness (internal/experiments) runs each trial
 // on its own worker goroutine with a fully isolated environment derived
@@ -104,7 +135,9 @@
 // service over a live database (local store with churn or a remote
 // dynagg-serve URL): one budgeted round per tick, crash/resume via the
 // estimator persistence snapshots, and current estimates served over
-// HTTP (/status, /estimates, /healthz, Prometheus-style /metrics).
+// HTTP (/v1/status, /v1/estimates, /v1/healthz, Prometheus-style
+// /v1/metrics; see docs/api.md for the versioned API and its JSON error
+// envelope).
 //
 // # Multi-tenant fleets
 //

@@ -38,6 +38,16 @@ type (
 	Iface = hiddendb.Iface
 	// Session is a per-round budgeted view of an Iface (one goroutine).
 	Session = hiddendb.Session
+	// ShardedStore is a Store hash-partitioned N ways by tuple ID, with
+	// per-shard snapshots and a fleet-wide version epoch.
+	ShardedStore = hiddendb.ShardedStore
+	// ShardedIface is the top-k interface over a ShardedStore: queries
+	// are answered by scatter-gather across one epoch's pinned per-shard
+	// snapshots, byte-identical to an unsharded Iface over the same data.
+	ShardedIface = hiddendb.ShardedIface
+	// Epoch pins one immutable snapshot per shard; all of a round's
+	// answers are served from the same epoch.
+	Epoch = hiddendb.Epoch
 	// Searcher is the only capability estimators require; implement it
 	// over a real web API to run the estimators against a live site.
 	Searcher = hiddendb.Searcher
@@ -62,6 +72,9 @@ type (
 	Dataset = workload.Dataset
 	// Env binds a Dataset to a live Store and applies update schedules.
 	Env = workload.Env
+	// ShardedEnv is Env over a ShardedStore, applying churn with one
+	// mutator goroutine per shard.
+	ShardedEnv = workload.ShardedEnv
 	// Schedule mutates an Env at the start of each round.
 	Schedule = workload.Schedule
 
@@ -98,6 +111,11 @@ var (
 	NewStore = hiddendb.NewStore
 	// NewIface wraps a store in a top-k search interface.
 	NewIface = hiddendb.NewIface
+	// NewShardedStore creates an empty store hash-partitioned n ways.
+	NewShardedStore = hiddendb.NewShardedStore
+	// NewShardedIface wraps a sharded store in a scatter-gather top-k
+	// interface.
+	NewShardedIface = hiddendb.NewShardedIface
 	// NewCountingIface wraps a store in a top-k interface that also
 	// reports capped result counts.
 	NewCountingIface = hiddendb.NewCountingIface
@@ -144,6 +162,8 @@ var (
 	CustomDataset = workload.Custom
 	// NewEnv loads an initial database state from a dataset.
 	NewEnv = workload.NewEnv
+	// NewShardedEnv loads an initial database state into a sharded store.
+	NewShardedEnv = workload.NewShardedEnv
 	// NewAmazonSim builds the Amazon live-experiment simulator.
 	NewAmazonSim = livesim.NewAmazon
 	// NewEBaySim builds the eBay live-experiment simulator.
@@ -193,6 +213,12 @@ type TrackerOptions struct {
 	// byte-identical for every value; sessions that are not safe for
 	// concurrent searching are served sequentially regardless.
 	Parallelism int
+	// Batch issues each planned wave of drill-down walks as lockstep
+	// query batches through the session's SearchBatch (one round trip
+	// per tree level for remote sessions). Estimates stay byte-identical.
+	// Effective only with Parallelism > 1 and a session implementing
+	// hiddendb.BatchSearcher; ignored otherwise.
+	Batch bool
 }
 
 // BudgetedSession is the per-round query capability a Tracker consumes:
@@ -245,6 +271,7 @@ func NewTrackerWithSource(sch *Schema, source SessionSource, aggs []*Aggregate, 
 		ClientCache:    opts.ClientCache,
 		MaxDrills:      opts.MaxDrills,
 		Parallelism:    opts.Parallelism,
+		Batch:          opts.Batch,
 		BroadMatchNull: opts.BroadMatchNull,
 	}
 	algo := opts.Algorithm
@@ -328,6 +355,7 @@ func LoadTracker(r io.Reader, iface *Iface, aggs []*Aggregate, opts TrackerOptio
 		ClientCache:    opts.ClientCache,
 		MaxDrills:      opts.MaxDrills,
 		Parallelism:    opts.Parallelism,
+		Batch:          opts.Batch,
 		BroadMatchNull: opts.BroadMatchNull,
 	}
 	est, err := estimator.Load(r, iface.Schema(), aggs, cfg)

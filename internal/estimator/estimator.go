@@ -68,6 +68,14 @@ type Config struct {
 	// engine silently falls back to 1 when the session is not safe for
 	// concurrent Search calls or ClientCache is on.
 	Parallelism int
+	// Batch issues each budget-covered wave of planned walks as lockstep
+	// query batches through the session's SearchBatch (when it implements
+	// hiddendb.BatchSearcher) instead of fanning goroutines out: one
+	// round-trip per drill level, one snapshot/epoch pin per batch, one
+	// budget charge per query. Estimates stay byte-identical to both the
+	// sequential and the goroutine paths. Effective only with
+	// Parallelism > 1 (waves exist only there); ignored otherwise.
+	Batch bool
 }
 
 func (c Config) withDefaults() Config {

@@ -5,31 +5,40 @@ import (
 	"errors"
 	"net/http"
 
+	"github.com/dynagg/dynagg/internal/httpapi"
 	"github.com/dynagg/dynagg/internal/metrics"
 )
 
-// Handler exposes the fleet control plane:
+// Handler exposes the fleet control plane, mounted under the current API
+// version (plus deprecated unversioned aliases for one release):
 //
-//	GET    /status              → fleet Status (ticks, budgets, per-task rows)
-//	GET    /healthz             → 200 once a tick completed, 503 before
-//	GET    /metrics             → Prometheus-style plaintext
-//	GET    /tasks               → all TaskStatus rows
-//	POST   /tasks               → add a task (TaskSpec JSON body)
-//	GET    /tasks/{id}          → one TaskStatus
-//	DELETE /tasks/{id}          → remove the task (checkpoint retained)
-//	POST   /tasks/{id}/pause    → pause from the next tick
-//	POST   /tasks/{id}/resume   → resume from the next tick
-//	GET    /tasks/{id}/estimates→ the task's current estimates array
+//	GET    /v1/status              → fleet Status (ticks, budgets, per-task rows)
+//	GET    /v1/healthz             → 200 once a tick completed, 503 before;
+//	                                 reports "api_version"
+//	GET    /v1/metrics             → Prometheus-style plaintext
+//	GET    /v1/tasks               → all TaskStatus rows
+//	POST   /v1/tasks               → add a task (TaskSpec JSON body)
+//	GET    /v1/tasks/{id}          → one TaskStatus
+//	DELETE /v1/tasks/{id}          → remove the task (checkpoint retained)
+//	POST   /v1/tasks/{id}/pause    → pause from the next tick
+//	POST   /v1/tasks/{id}/resume   → resume from the next tick
+//	GET    /v1/tasks/{id}/estimates→ the task's current estimates array
 //
-// Mutations only touch the task table (manager mutex) and take effect at
-// the next tick boundary; reads serve immutable views and never block
-// the scheduler.
+// Errors use the shared httpapi JSON envelope. Mutations only touch the
+// task table (manager mutex) and take effect at the next tick boundary;
+// reads serve immutable views and never block the scheduler.
 func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(method, pattern string, h http.HandlerFunc) {
+		// Register each route under /v1 and, for one deprecated
+		// release, at its legacy unversioned path.
+		mux.HandleFunc(method+" /"+httpapi.Version+pattern, h)
+		mux.HandleFunc(method+" "+pattern, h)
+	}
+	handle("GET", "/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Status())
 	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {
 		// Readiness probes fire often: answer from cheap counters instead
 		// of assembling the full per-task Status — and key on ticks THIS
 		// process completed, so a freshly restarted fleet (whose restored
@@ -44,18 +53,19 @@ func (m *Manager) Handler() http.Handler {
 			"ticks_this_process": ticks,
 			"ticks":              m.Ticks(),
 			"tasks":              m.TaskCount(),
+			"api_version":        httpapi.Version,
 		})
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/metrics", func(w http.ResponseWriter, r *http.Request) {
 		m.serveMetrics(w)
 	})
-	mux.HandleFunc("GET /tasks", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/tasks", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Status().Tasks)
 	})
-	mux.HandleFunc("POST /tasks", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST", "/tasks", func(w http.ResponseWriter, r *http.Request) {
 		var spec TaskSpec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-			httpError(w, http.StatusBadRequest, "decode task spec: "+err.Error())
+			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, "decode task spec: "+err.Error())
 			return
 		}
 		if err := m.Add(spec); err != nil {
@@ -63,23 +73,23 @@ func (m *Manager) Handler() http.Handler {
 			if errors.Is(err, ErrTaskExists) {
 				code = http.StatusConflict
 			}
-			httpError(w, code, err.Error())
+			httpapi.WriteError(w, code, httpapi.CodeBadRequest, err.Error())
 			return
 		}
 		ts, _ := m.TaskView(spec.ID)
 		writeJSON(w, http.StatusCreated, ts)
 	})
-	mux.HandleFunc("GET /tasks/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/tasks/{id}", func(w http.ResponseWriter, r *http.Request) {
 		ts, ok := m.TaskView(r.PathValue("id"))
 		if !ok {
-			httpError(w, http.StatusNotFound, "no such task")
+			httpapi.WriteError(w, http.StatusNotFound, httpapi.CodeNotFound, "no such task")
 			return
 		}
 		writeJSON(w, http.StatusOK, ts)
 	})
-	mux.HandleFunc("DELETE /tasks/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("DELETE", "/tasks/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if err := m.Remove(r.PathValue("id")); err != nil {
-			httpError(w, http.StatusNotFound, err.Error())
+			httpapi.WriteError(w, http.StatusNotFound, httpapi.CodeNotFound, err.Error())
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"removed": r.PathValue("id")})
@@ -88,19 +98,19 @@ func (m *Manager) Handler() http.Handler {
 		return func(w http.ResponseWriter, r *http.Request) {
 			id := r.PathValue("id")
 			if err := m.SetPaused(id, paused); err != nil {
-				httpError(w, http.StatusNotFound, err.Error())
+				httpapi.WriteError(w, http.StatusNotFound, httpapi.CodeNotFound, err.Error())
 				return
 			}
 			ts, _ := m.TaskView(id)
 			writeJSON(w, http.StatusOK, ts)
 		}
 	}
-	mux.HandleFunc("POST /tasks/{id}/pause", setPaused(true))
-	mux.HandleFunc("POST /tasks/{id}/resume", setPaused(false))
-	mux.HandleFunc("GET /tasks/{id}/estimates", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST", "/tasks/{id}/pause", setPaused(true))
+	handle("POST", "/tasks/{id}/resume", setPaused(false))
+	handle("GET", "/tasks/{id}/estimates", func(w http.ResponseWriter, r *http.Request) {
 		ts, ok := m.TaskView(r.PathValue("id"))
 		if !ok {
-			httpError(w, http.StatusNotFound, "no such task")
+			httpapi.WriteError(w, http.StatusNotFound, httpapi.CodeNotFound, "no such task")
 			return
 		}
 		writeJSON(w, http.StatusOK, ts.View.Estimates)
@@ -163,8 +173,4 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
 }

@@ -188,6 +188,23 @@ func (f *Iface) Search(q Query) (Result, error) {
 	return r, nil
 }
 
+// SearchBatch answers many queries against ONE snapshot pin: the whole
+// batch sees the same frozen version, and each answer is byte-identical
+// to what a sequence of Search calls over the unchanged version returns.
+// Like Search it never fails; per-query budget charging lives in Session.
+func (f *Iface) SearchBatch(qs []Query) []Result {
+	out := make([]Result, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	f.queries.Add(uint64(len(qs)))
+	s := f.st.Snapshot()
+	for i, q := range qs {
+		out[i] = f.searchSnapshot(s, q)
+	}
+	return out
+}
+
 // searchSnapshot answers q on a published snapshot through the sharded
 // per-version cache.
 func (f *Iface) searchSnapshot(snap *Snapshot, q Query) Result {
@@ -246,10 +263,22 @@ func (b *BudgetCounter) Remaining() int {
 // Budget returns the round budget G (<= 0 means unlimited).
 func (b *BudgetCounter) Budget() int { return b.g }
 
-// Session enforces the per-round query budget G on top of an Iface and
-// optionally drives the constant-update model by running a hook before
-// each query (the harness uses the hook to apply mid-round updates,
-// modelling databases that change while the algorithm is executing, §5.2).
+// sessionBackend is the answering capability a Session wraps its budget
+// around: an Iface (answers track the store's current version) or a
+// ShardedIface epoch view (answers pinned to one epoch). Both are
+// infallible — budget death is the Session's own doing.
+type sessionBackend interface {
+	Search(q Query) (Result, error)
+	SearchBatch(qs []Query) []Result
+	K() int
+	Schema() *schema.Schema
+}
+
+// Session enforces the per-round query budget G on top of an Iface (or an
+// epoch-pinned view of a ShardedIface) and optionally drives the
+// constant-update model by running a hook before each query (the harness
+// uses the hook to apply mid-round updates, modelling databases that
+// change while the algorithm is executing, §5.2).
 //
 // Budget accounting is atomic, so one Session may be shared by the
 // bounded fan-out of the estimator execution engine (several goroutines
@@ -257,14 +286,14 @@ func (b *BudgetCounter) Budget() int { return b.g }
 // the session reverts to single-goroutine use — the hook couples query
 // order to database mutation — and reports so via ConcurrentSearchable.
 type Session struct {
-	f         *Iface
+	b         sessionBackend
 	bc        *BudgetCounter
 	preSearch func(queryIndex int)
 }
 
 // NewSession starts a round with budget G (G <= 0 means unlimited).
 func (f *Iface) NewSession(g int) *Session {
-	return &Session{f: f, bc: NewBudgetCounter(g)}
+	return &Session{b: f, bc: NewBudgetCounter(g)}
 }
 
 // SetPreSearchHook installs fn, invoked with the 0-based index of each
@@ -285,14 +314,45 @@ func (s *Session) Search(q Query) (Result, error) {
 	if s.preSearch != nil {
 		s.preSearch(idx)
 	}
-	return s.f.Search(q)
+	return s.b.Search(q)
+}
+
+// SearchBatch issues many queries as one batch, charging one unit of
+// budget per query in order. Queries the budget cannot cover come back as
+// ErrBudgetExhausted items; the covered prefix is answered under a single
+// snapshot/epoch pin. With a pre-search hook installed the batch degrades
+// to sequential Search calls — the hook mutates the database between
+// queries, so answering them together would change semantics.
+func (s *Session) SearchBatch(qs []Query) ([]BatchItem, error) {
+	items := make([]BatchItem, len(qs))
+	if s.preSearch != nil {
+		for i, q := range qs {
+			r, err := s.Search(q)
+			items[i] = BatchItem{Result: r, Err: err}
+		}
+		return items, nil
+	}
+	claimed := make([]Query, 0, len(qs))
+	claimedIdx := make([]int, 0, len(qs))
+	for i, q := range qs {
+		if _, ok := s.bc.Claim(); !ok {
+			items[i].Err = ErrBudgetExhausted
+			continue
+		}
+		claimed = append(claimed, q)
+		claimedIdx = append(claimedIdx, i)
+	}
+	for j, r := range s.b.SearchBatch(claimed) {
+		items[claimedIdx[j]] = BatchItem{Result: r}
+	}
+	return items, nil
 }
 
 // K returns the interface's result cap.
-func (s *Session) K() int { return s.f.K() }
+func (s *Session) K() int { return s.b.K() }
 
 // Schema returns the queryable schema.
-func (s *Session) Schema() *schema.Schema { return s.f.Schema() }
+func (s *Session) Schema() *schema.Schema { return s.b.Schema() }
 
 // Used returns the number of queries issued in this session.
 func (s *Session) Used() int { return s.bc.Used() }
@@ -304,6 +364,7 @@ func (s *Session) Remaining() int { return s.bc.Remaining() }
 func (s *Session) Budget() int { return s.bc.Budget() }
 
 var _ ConcurrentSearcher = (*Session)(nil)
+var _ BatchSearcher = (*Session)(nil)
 var _ Searcher = ifaceSearcher{}
 
 // CountingIface is an Iface that additionally reports each query's result

@@ -158,6 +158,26 @@ type Searcher interface {
 	Schema() *schema.Schema
 }
 
+// BatchItem is one query's outcome within a batched search: either a
+// Result or a per-query error (budget exhaustion for the queries a
+// round's remaining budget could not cover).
+type BatchItem struct {
+	Result Result
+	Err    error
+}
+
+// BatchSearcher is a Searcher that can answer many queries in one call —
+// one snapshot/epoch pin, one round trip for remote implementations, one
+// budget charge per query. The returned slice always has len(qs) items in
+// query order. The error return is reserved for whole-batch transport
+// failures (remote sessions); per-query failures travel in the items.
+// Session and webiface.Session implement it.
+type BatchSearcher interface {
+	Searcher
+	// SearchBatch issues the queries as one batch.
+	SearchBatch(qs []Query) ([]BatchItem, error)
+}
+
 // ConcurrentSearcher is a Searcher that can declare itself safe for
 // concurrent Search calls from multiple goroutines. The estimator
 // execution engine fans a round's planned drill-down walks out over a

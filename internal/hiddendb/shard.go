@@ -1,0 +1,527 @@
+package hiddendb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/dynagg/dynagg/internal/schema"
+)
+
+// ShardedStore partitions a database across N independent Stores by a hash
+// of the tuple ID, so that each shard owns its own sorted tuple slice,
+// version counter and inverted posting lists, and mutations to different
+// shards never contend. Reads are served from an Epoch — one immutable
+// snapshot per shard, published together — so that a round's answers stay
+// frozen no matter which shards mutate underneath.
+//
+// Concurrency contract (one level up from Store's):
+//
+//   - Each shard has at most ONE mutator goroutine at a time. Because
+//     mutations are routed by ShardFor(id), a harness may run one mutator
+//     goroutine per shard in parallel (ApplyBatchParallel does exactly
+//     that), which is the point of sharding the write path.
+//   - Epoch publication (AdvanceEpoch) happens at round boundaries, with
+//     all shard mutators quiescent: the publisher must observe every
+//     mutation it wants the new epoch to serve. Publication itself is
+//     serialised internally and atomic with respect to readers.
+//   - Readers (Epoch, Search through ShardedIface) are lock-free and may
+//     run concurrently with mutators; they keep answering on the pinned
+//     epoch until the next AdvanceEpoch.
+type ShardedStore struct {
+	sch    *schema.Schema
+	shards []*Store
+	nextID atomic.Uint64
+
+	epochMu sync.Mutex // serialises epoch publication
+	epoch   atomic.Pointer[Epoch]
+}
+
+// NewShardedStore creates an empty store partitioned n ways. n = 1 is a
+// valid degenerate configuration (one shard, useful for equivalence
+// testing). It panics if n < 1.
+func NewShardedStore(sch *schema.Schema, n int) *ShardedStore {
+	if n < 1 {
+		panic("hiddendb: shard count must be >= 1")
+	}
+	shards := make([]*Store, n)
+	for i := range shards {
+		shards[i] = NewStore(sch)
+	}
+	return &ShardedStore{sch: sch, shards: shards}
+}
+
+// NumShards returns the shard count N.
+func (ss *ShardedStore) NumShards() int { return len(ss.shards) }
+
+// ShardFor returns the index of the shard owning the given tuple ID. The
+// routing is a pure function of (id, N): splitmix64(id) mod N.
+func (ss *ShardedStore) ShardFor(id uint64) int {
+	return int(splitmix64(id) % uint64(len(ss.shards)))
+}
+
+// Shard returns the i-th shard. Harness-side only: the caller inherits the
+// shard's single-mutator obligation and must route by ShardFor.
+func (ss *ShardedStore) Shard(i int) *Store { return ss.shards[i] }
+
+// Schema returns the store's schema.
+func (ss *ShardedStore) Schema() *schema.Schema { return ss.sch }
+
+// Size returns the current number of live tuples across all shards.
+func (ss *ShardedStore) Size() int {
+	n := 0
+	for _, st := range ss.shards {
+		n += st.Size()
+	}
+	return n
+}
+
+// SetBroadMatchNull switches the NULL matching policy on every shard.
+// Mutator-side: call with all shard mutators quiescent.
+func (ss *ShardedStore) SetBroadMatchNull(on bool) {
+	for _, st := range ss.shards {
+		st.SetBroadMatchNull(on)
+	}
+}
+
+// NextID reserves and returns a fresh unique tuple ID. Unlike Store.NextID
+// it is safe to call from concurrent per-shard mutators: the counter is a
+// single atomic shared by all shards, so IDs are globally unique.
+func (ss *ShardedStore) NextID() uint64 { return ss.nextID.Add(1) }
+
+// reserveID keeps the global ID counter above an explicitly chosen ID.
+func (ss *ShardedStore) reserveID(id uint64) {
+	for {
+		cur := ss.nextID.Load()
+		if id <= cur || ss.nextID.CompareAndSwap(cur, id) {
+			return
+		}
+	}
+}
+
+// Insert routes one tuple to its owning shard.
+func (ss *ShardedStore) Insert(t *schema.Tuple) error {
+	ss.reserveID(t.ID)
+	return ss.shards[ss.ShardFor(t.ID)].Insert(t)
+}
+
+// Delete removes the tuple with the given ID from its owning shard.
+func (ss *ShardedStore) Delete(id uint64) (*schema.Tuple, error) {
+	return ss.shards[ss.ShardFor(id)].Delete(id)
+}
+
+// Replace substitutes the tuple with the given ID in its owning shard.
+func (ss *ShardedStore) Replace(id uint64, mutate func(copy *schema.Tuple)) error {
+	return ss.shards[ss.ShardFor(id)].Replace(id, mutate)
+}
+
+// Get returns the live tuple with the given ID, or nil.
+func (ss *ShardedStore) Get(id uint64) *schema.Tuple {
+	return ss.shards[ss.ShardFor(id)].Get(id)
+}
+
+// partitionBatch splits a batch by owning shard.
+func (ss *ShardedStore) partitionBatch(inserts []*schema.Tuple, deleteIDs []uint64) (ins [][]*schema.Tuple, dels [][]uint64) {
+	ins = make([][]*schema.Tuple, len(ss.shards))
+	dels = make([][]uint64, len(ss.shards))
+	for _, t := range inserts {
+		ss.reserveID(t.ID)
+		sh := ss.ShardFor(t.ID)
+		ins[sh] = append(ins[sh], t)
+	}
+	for _, id := range deleteIDs {
+		sh := ss.ShardFor(id)
+		dels[sh] = append(dels[sh], id)
+	}
+	return ins, dels
+}
+
+// ApplyBatch partitions a round's updates by owning shard and applies each
+// shard's slice with one merge pass. Validation is per shard: on error the
+// failing shard is left unmodified, but earlier shards keep their applied
+// portion (cross-shard batches are not atomic — the round-boundary mutator
+// owns recovery).
+func (ss *ShardedStore) ApplyBatch(inserts []*schema.Tuple, deleteIDs []uint64) error {
+	ins, dels := ss.partitionBatch(inserts, deleteIDs)
+	for i, st := range ss.shards {
+		if len(ins[i]) == 0 && len(dels[i]) == 0 {
+			continue
+		}
+		if err := st.ApplyBatch(ins[i], dels[i]); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ApplyBatchParallel is ApplyBatch with one mutator goroutine per shard —
+// the sharded write path at full width. Each shard's slice is applied by
+// its own goroutine; the call returns after every shard finished, with the
+// first error encountered (same atomicity caveat as ApplyBatch).
+func (ss *ShardedStore) ApplyBatchParallel(inserts []*schema.Tuple, deleteIDs []uint64) error {
+	ins, dels := ss.partitionBatch(inserts, deleteIDs)
+	errs := make([]error, len(ss.shards))
+	var wg sync.WaitGroup
+	for i, st := range ss.shards {
+		if len(ins[i]) == 0 && len(dels[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, st *Store) {
+			defer wg.Done()
+			if err := st.ApplyBatch(ins[i], dels[i]); err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+			}
+		}(i, st)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEach visits every live tuple, shard by shard (canonical order within
+// a shard, shard order across shards — NOT globally canonical).
+// Ground-truth access for a quiescent store only.
+func (ss *ShardedStore) ForEach(fn func(*schema.Tuple)) {
+	for _, st := range ss.shards {
+		st.ForEach(fn)
+	}
+}
+
+// IDs returns the IDs of all live tuples in ascending order (per-shard ID
+// sets are disjoint but interleaved, so a global sort keeps harness-side
+// victim sampling deterministic).
+func (ss *ShardedStore) IDs() []uint64 {
+	out := make([]uint64, 0, ss.Size())
+	for _, st := range ss.shards {
+		out = append(out, st.IDs()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CountMatching returns |Sel(q)| over the live (un-pinned) contents: the
+// sum of the per-shard exact counts. Ground truth only.
+func (ss *ShardedStore) CountMatching(q Query) int {
+	n := 0
+	for _, st := range ss.shards {
+		n += st.CountMatching(q)
+	}
+	return n
+}
+
+// AdvanceEpoch publishes a new epoch: one snapshot per shard, taken
+// together, tagged with the next epoch sequence number. Call it at the
+// round boundary with all shard mutators quiescent — the snapshots are
+// only mutually consistent if no shard is mid-mutation. Readers switch to
+// the new epoch atomically; sessions pinned to the previous epoch keep it.
+func (ss *ShardedStore) AdvanceEpoch() *Epoch {
+	ss.epochMu.Lock()
+	defer ss.epochMu.Unlock()
+	var seq uint64 = 1
+	if prev := ss.epoch.Load(); prev != nil {
+		seq = prev.seq + 1
+	}
+	snaps := make([]*Snapshot, len(ss.shards))
+	for i, st := range ss.shards {
+		snaps[i] = st.Snapshot()
+	}
+	e := &Epoch{seq: seq, snaps: snaps}
+	ss.epoch.Store(e)
+	return e
+}
+
+// Epoch returns the current pinned epoch, publishing the first one if none
+// exists yet. It never re-pins on its own: after the initial publication,
+// only AdvanceEpoch moves readers forward.
+func (ss *ShardedStore) Epoch() *Epoch {
+	if e := ss.epoch.Load(); e != nil {
+		return e
+	}
+	ss.epochMu.Lock()
+	defer ss.epochMu.Unlock()
+	if e := ss.epoch.Load(); e != nil {
+		return e
+	}
+	snaps := make([]*Snapshot, len(ss.shards))
+	for i, st := range ss.shards {
+		snaps[i] = st.Snapshot()
+	}
+	e := &Epoch{seq: 1, snaps: snaps}
+	ss.epoch.Store(e)
+	return e
+}
+
+// Epoch pins one immutable snapshot per shard under a single sequence
+// number. Everything read through an Epoch is frozen: the same Epoch value
+// answers identically forever, regardless of shard mutations or later
+// epochs. Epochs are immutable and safe to share across any number of
+// goroutines.
+type Epoch struct {
+	seq   uint64
+	snaps []*Snapshot
+}
+
+// Seq returns the epoch sequence number (1-based).
+func (e *Epoch) Seq() uint64 { return e.seq }
+
+// NumShards returns the number of pinned shard snapshots.
+func (e *Epoch) NumShards() int { return len(e.snaps) }
+
+// Size returns the number of tuples frozen in the epoch, |D|.
+func (e *Epoch) Size() int {
+	n := 0
+	for _, s := range e.snaps {
+		n += s.Size()
+	}
+	return n
+}
+
+// CountMatching returns |Sel(q)| exactly over the pinned snapshots.
+func (e *Epoch) CountMatching(q Query) int {
+	n := 0
+	for _, s := range e.snaps {
+		n += s.CountMatching(q)
+	}
+	return n
+}
+
+// Answer computes the top-k result for q by scatter-gather: each pinned
+// shard snapshot answers independently (in parallel when workers > 1), the
+// partials are gathered in shard order, and the global top-k cut is
+// applied after the merge under the same strict (score desc, ID asc) order
+// Snapshot.Answer ranks by.
+//
+// Byte-identity with the unsharded engine: every tuple of the global top-k
+// is necessarily in its own shard's top-k (per-shard rank can only be
+// better than global rank), so the union of per-shard top-k results
+// contains the global top-k; and because a non-overflowing shard returns
+// ALL its matches, the exact global overflow predicate matches > k is
+// recoverable as anyShardOverflow || totalGathered > k.
+func (e *Epoch) Answer(q Query, k int, scorer Scorer, workers int) Result {
+	partials := make([]Result, len(e.snaps))
+	if workers > 1 && len(e.snaps) > 1 {
+		if workers > len(e.snaps) {
+			workers = len(e.snaps)
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= len(e.snaps) {
+						return
+					}
+					partials[i] = e.snaps[i].Answer(q, k, scorer)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i, s := range e.snaps {
+			partials[i] = s.Answer(q, k, scorer)
+		}
+	}
+	return mergeTopK(partials, k, scorer)
+}
+
+// mergeTopK merges per-shard partial results (gathered in shard order)
+// into the global top-k. The (score desc, ID asc) order is strict and
+// total — IDs are unique — so the merged ranking is deterministic and
+// independent of both shard count and gather order.
+func mergeTopK(partials []Result, k int, scorer Scorer) Result {
+	total := 0
+	overflow := false
+	for _, p := range partials {
+		total += len(p.Tuples)
+		overflow = overflow || p.Overflow
+	}
+	tuples := make([]*schema.Tuple, 0, total)
+	for _, p := range partials {
+		tuples = append(tuples, p.Tuples...)
+	}
+	scores := make([]float64, len(tuples))
+	for i, t := range tuples {
+		scores[i] = scorer(t)
+	}
+	sort.Sort(&rankSort{tuples: tuples, scores: scores})
+	if len(tuples) > k {
+		tuples = tuples[:k]
+	}
+	return Result{Tuples: tuples, Overflow: overflow || total > k}
+}
+
+// ShardedIface is the restrictive top-k search view over a ShardedStore:
+// the sharded counterpart of Iface, answering every query by scatter-
+// gather over the pinned epoch. The default is sequential per-shard
+// answering; SetGatherWorkers turns on parallel per-shard goroutines.
+// Results are byte-identical either way.
+//
+// Concurrency: safe for any number of concurrent reader goroutines.
+// Sessions created by NewSession pin the epoch current at creation time
+// and answer from it for their whole lifetime — a long-running session
+// never observes two epochs.
+type ShardedIface struct {
+	ss      *ShardedStore
+	k       int
+	scorer  Scorer
+	workers int // scatter-gather goroutines per query; <= 1 is sequential
+	queries atomic.Uint64
+	cache   atomic.Pointer[answerCache] // keyed by epoch seq
+}
+
+// NewShardedIface creates a top-k view of the sharded store. scorer may be
+// nil for the default hash ranking. It panics if k < 1.
+func NewShardedIface(ss *ShardedStore, k int, scorer Scorer) *ShardedIface {
+	if k < 1 {
+		panic("hiddendb: interface k must be >= 1")
+	}
+	if scorer == nil {
+		scorer = DefaultScorer
+	}
+	return &ShardedIface{ss: ss, k: k, scorer: scorer, workers: 1}
+}
+
+// SetGatherWorkers sets the number of per-shard goroutines a single query
+// fans out over (<= 1 answers shards sequentially). Configure before
+// serving: the setting is not synchronised with in-flight queries.
+func (f *ShardedIface) SetGatherWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	f.workers = n
+}
+
+// K returns the result cap of the interface.
+func (f *ShardedIface) K() int { return f.k }
+
+// Schema returns the queryable schema.
+func (f *ShardedIface) Schema() *schema.Schema { return f.ss.Schema() }
+
+// TotalQueries returns the lifetime number of queries answered.
+func (f *ShardedIface) TotalQueries() uint64 { return f.queries.Load() }
+
+// Version returns the current epoch sequence number — the sharded
+// analogue of the store version serving diagnostics report.
+func (f *ShardedIface) Version() uint64 { return f.ss.Epoch().Seq() }
+
+// Epoch returns the epoch the interface currently answers from.
+func (f *ShardedIface) Epoch() *Epoch { return f.ss.Epoch() }
+
+// Search answers one query against the current epoch. It never fails;
+// budget enforcement lives in Session.
+func (f *ShardedIface) Search(q Query) (Result, error) {
+	f.queries.Add(1)
+	return f.answer(f.ss.Epoch(), q), nil
+}
+
+// SearchBatch answers many queries under ONE epoch pin: every query in
+// the batch sees the same frozen state even if AdvanceEpoch lands midway.
+func (f *ShardedIface) SearchBatch(qs []Query) []Result {
+	out := make([]Result, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	f.queries.Add(uint64(len(qs)))
+	e := f.ss.Epoch()
+	for i, q := range qs {
+		out[i] = f.answer(e, q)
+	}
+	return out
+}
+
+// answer resolves one query against a pinned epoch, through the shared
+// per-epoch answer cache when the pin is still current (sessions pinned to
+// an older epoch bypass the cache rather than thrash it).
+func (f *ShardedIface) answer(e *Epoch, q Query) Result {
+	cur := f.ss.epoch.Load()
+	if cur == nil || cur.seq != e.seq {
+		return e.Answer(q, f.k, f.scorer, f.workers)
+	}
+	c := f.cacheFor(e.seq)
+	key := q.Key()
+	sh := c.shard(key)
+	if r, ok := sh.get(key); ok {
+		return r
+	}
+	r := e.Answer(q, f.k, f.scorer, f.workers)
+	sh.put(key, r)
+	return r
+}
+
+// cacheFor returns the answer cache for the given epoch seq, swapping a
+// fresh one in when the epoch moved on.
+func (f *ShardedIface) cacheFor(seq uint64) *answerCache {
+	for {
+		c := f.cache.Load()
+		if c != nil && c.version == seq {
+			return c
+		}
+		nc := newAnswerCache(seq)
+		if f.cache.CompareAndSwap(c, nc) {
+			return nc
+		}
+	}
+}
+
+// NewSession starts a budgeted round pinned to the CURRENT epoch: every
+// query of the session — however long it runs — is answered from the
+// epoch that was live when the session was created. G <= 0 means
+// unlimited.
+func (f *ShardedIface) NewSession(g int) *Session {
+	return &Session{b: &epochView{f: f, e: f.ss.Epoch()}, bc: NewBudgetCounter(g)}
+}
+
+// AsSearcher returns an unbudgeted Searcher view of the interface
+// (answers always from the current epoch, not pinned).
+func (f *ShardedIface) AsSearcher() Searcher { return shardedIfaceSearcher{f: f} }
+
+type shardedIfaceSearcher struct{ f *ShardedIface }
+
+func (s shardedIfaceSearcher) Search(q Query) (Result, error) { return s.f.Search(q) }
+func (s shardedIfaceSearcher) K() int                         { return s.f.K() }
+func (s shardedIfaceSearcher) Schema() *schema.Schema         { return s.f.Schema() }
+
+// epochView is the session backend for sharded sessions: a ShardedIface
+// with one epoch pinned for the lifetime of the view.
+type epochView struct {
+	f *ShardedIface
+	e *Epoch
+}
+
+func (v *epochView) Search(q Query) (Result, error) {
+	v.f.queries.Add(1)
+	return v.f.answer(v.e, q), nil
+}
+
+func (v *epochView) SearchBatch(qs []Query) []Result {
+	out := make([]Result, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	v.f.queries.Add(uint64(len(qs)))
+	for i, q := range qs {
+		out[i] = v.f.answer(v.e, q)
+	}
+	return out
+}
+
+func (v *epochView) K() int                 { return v.f.K() }
+func (v *epochView) Schema() *schema.Schema { return v.f.Schema() }
+
+// Epoch returns the sharded epoch this session is pinned to, or nil for
+// a session over an unsharded Iface.
+func (s *Session) Epoch() *Epoch {
+	if v, ok := s.b.(*epochView); ok {
+		return v.e
+	}
+	return nil
+}

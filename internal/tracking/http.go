@@ -5,40 +5,57 @@ import (
 	"net/http"
 	"time"
 
+	"github.com/dynagg/dynagg/internal/httpapi"
 	"github.com/dynagg/dynagg/internal/metrics"
 )
 
-// Handler exposes the service's current state over HTTP:
+// Handler exposes the service's current state over HTTP, mounted under
+// the current API version (plus deprecated unversioned aliases for one
+// release):
 //
-//	GET /status    → the full round View (algorithm, round, budget,
-//	                 queries, estimates, last error)
-//	GET /estimates → just the estimates array
-//	GET /healthz   → 200 once at least one round completed without a
-//	                 step error, 503 before that (readiness probe)
-//	GET /metrics   → Prometheus-style plaintext gauges (rounds, query
-//	                 counts, budget, wasted speculative queries)
+//	GET /v1/status    → the full round View (algorithm, round, budget,
+//	                    queries, estimates, last error)
+//	GET /v1/estimates → just the estimates array
+//	GET /v1/healthz   → 200 once at least one round completed without a
+//	                    step error, 503 before that (readiness probe);
+//	                    reports "api_version"
+//	GET /v1/metrics   → Prometheus-style plaintext gauges (rounds, query
+//	                    counts, budget, wasted speculative queries)
 //
-// All responses except /metrics are JSON. Reads never block a running
-// round: they serve the immutable View published at the previous round
-// boundary.
+// All responses except /metrics are JSON; errors use the shared
+// httpapi envelope. Reads never block a running round: they serve the
+// immutable View published at the previous round boundary.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern string, h http.HandlerFunc) {
+		// Register each route under /v1 and, for one deprecated
+		// release, at its legacy unversioned path.
+		mux.HandleFunc("GET /"+httpapi.Version+pattern, h)
+		mux.HandleFunc("GET "+pattern, h)
+	}
+	handle("/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.statusView())
 	})
-	mux.HandleFunc("GET /estimates", func(w http.ResponseWriter, r *http.Request) {
+	handle("/estimates", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.CurrentView().Estimates)
 	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		v := s.CurrentView()
-		w.Header().Set("Content-Type", "application/json")
+		status := http.StatusOK
 		if v.Steps == 0 || v.LastError != "" {
-			w.WriteHeader(http.StatusServiceUnavailable)
+			status = http.StatusServiceUnavailable
 		}
-		_ = json.NewEncoder(w).Encode(map[string]any{"steps": v.Steps, "last_error": v.LastError})
+		httpapi.WriteJSON(w, status, map[string]any{
+			"steps":       v.Steps,
+			"last_error":  v.LastError,
+			"api_version": httpapi.Version,
+		})
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+	handle("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		s.serveMetrics(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		httpapi.WriteError(w, http.StatusNotFound, httpapi.CodeNotFound, "no such route")
 	})
 	return mux
 }

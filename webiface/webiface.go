@@ -16,11 +16,19 @@
 //
 //	{"k":100,"overflow":true,"tuples":[{"id":7,"vals":[1,0,3],"aux":[19.5]}]}
 //
+// Many queries go out in one round trip as a batched POST /v1/search
+// (see wireBatchRequest); the server answers the whole batch under a
+// single snapshot/epoch pin, charging the per-key budget once per query.
+// Errors are the shared JSON envelope of internal/httpapi. All routes are
+// mounted under "/v1/" with the unversioned paths kept as deprecated
+// aliases for one release.
+//
 // Real sites need a site-specific request builder and response parser;
 // both are injectable (RequestFunc / ParseFunc).
 package webiface
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -32,6 +40,7 @@ import (
 	"time"
 
 	"github.com/dynagg/dynagg/internal/hiddendb"
+	"github.com/dynagg/dynagg/internal/httpapi"
 	"github.com/dynagg/dynagg/internal/metrics"
 	"github.com/dynagg/dynagg/internal/schema"
 )
@@ -50,6 +59,30 @@ type wireResult struct {
 	Tuples   []wireTuple `json:"tuples"`
 }
 
+// wireBatchRequest is the JSON body of a batched POST /search: one
+// "where" predicate list per query, same "attr:value" strings as the GET
+// parameter.
+type wireBatchRequest struct {
+	Queries []wireBatchQuery `json:"queries"`
+}
+
+type wireBatchQuery struct {
+	Where []string `json:"where"`
+}
+
+// wireBatchResponse answers a batch: one item per query, in order. Each
+// item carries either the query's result or a per-query error envelope
+// payload (budget exhaustion).
+type wireBatchResponse struct {
+	K       int             `json:"k"`
+	Results []wireBatchItem `json:"results"`
+}
+
+type wireBatchItem struct {
+	Result *wireResult    `json:"result,omitempty"`
+	Error  *httpapi.Error `json:"error,omitempty"`
+}
+
 // wireSchema is the JSON encoding of the schema discovery endpoint.
 type wireSchema struct {
 	K     int        `json:"k"`
@@ -62,31 +95,56 @@ type wireAttr struct {
 	Nullable bool     `json:"nullable,omitempty"`
 }
 
-// Handler exposes a simulated store through the wire format. Routes:
+// Backend is the search capability a Handler serves: hiddendb.Iface (one
+// store, answers track its current snapshot) or hiddendb.ShardedIface
+// (N shards, answers scatter-gathered off the pinned epoch). SearchBatch
+// must answer its whole batch under ONE snapshot/epoch pin; Version is a
+// serving diagnostic (store version, or epoch sequence when sharded).
+type Backend interface {
+	Search(q hiddendb.Query) (hiddendb.Result, error)
+	SearchBatch(qs []hiddendb.Query) []hiddendb.Result
+	K() int
+	Schema() *schema.Schema
+	TotalQueries() uint64
+	Version() uint64
+}
+
+var _ Backend = (*hiddendb.Iface)(nil)
+var _ Backend = (*hiddendb.ShardedIface)(nil)
+
+// Handler exposes a simulated store through the wire format. Routes
+// (each also mounted under the versioned prefix "/v1/"; the unversioned
+// paths are deprecated aliases kept for one release):
 //
-//	GET /schema           → wireSchema
-//	GET /search?where=... → wireResult
-//	GET /stats            → wireStats
-//	GET /metrics          → Prometheus-style plaintext (query counts,
-//	                        store version, per-key budget accounting)
+//	GET  /v1/schema           → wireSchema
+//	GET  /v1/search?where=... → wireResult
+//	POST /v1/search           → wireBatchResponse (batched queries, one
+//	                            snapshot/epoch pin, one budget charge per
+//	                            query)
+//	GET  /v1/stats            → wireStats
+//	GET  /v1/healthz          → {"status":"ok","api_version":"v1"}
+//	GET  /v1/metrics          → Prometheus-style plaintext (query counts,
+//	                            serving version, per-key budget accounting)
+//
+// Errors are the internal/httpapi JSON envelope.
 //
 // A Handler is safe for concurrent use by any number of clients: queries
-// are answered against the interface's immutable snapshot of the current
-// round (hiddendb.Iface is concurrent-reader-safe), and the per-API-key
-// budget accounting below is guarded by its own mutex. Clients identify
-// themselves with an X-API-Key header (or key= query parameter); absent
-// both, they share the anonymous bucket.
+// are answered against the backend's immutable snapshot or epoch of the
+// current round (both backends are concurrent-reader-safe), and the
+// per-API-key budget accounting below is guarded by its own mutex.
+// Clients identify themselves with an X-API-Key header (or key= query
+// parameter); absent both, they share the anonymous bucket.
 type Handler struct {
-	iface *hiddendb.Iface
+	b Backend
 
 	mu           sync.Mutex
 	perKeyBudget int
 	used         map[string]int
 }
 
-// NewHandler wraps a search interface for serving.
-func NewHandler(iface *hiddendb.Iface) *Handler {
-	return &Handler{iface: iface, used: make(map[string]int)}
+// NewHandler wraps a search backend for serving.
+func NewHandler(b Backend) *Handler {
+	return &Handler{b: b, used: make(map[string]int)}
 }
 
 // SetPerKeyBudget caps the searches each API key may issue per round
@@ -117,19 +175,34 @@ func (h *Handler) consumeBudget(key string) bool {
 	return true
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. The "/v1" prefix is stripped before
+// routing, which is what makes every unversioned path a legacy alias of
+// its versioned twin.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	switch r.URL.Path {
+	path := r.URL.Path
+	if rest, ok := strings.CutPrefix(path, "/"+httpapi.Version); ok && (rest == "" || rest[0] == '/') {
+		path = rest
+	}
+	switch path {
 	case "/schema":
 		h.serveSchema(w)
 	case "/search":
+		if r.Method == http.MethodPost {
+			h.serveSearchBatch(w, r)
+			return
+		}
 		h.serveSearch(w, r)
 	case "/stats":
 		h.serveStats(w)
+	case "/healthz":
+		httpapi.WriteJSON(w, http.StatusOK, map[string]string{
+			"status":      "ok",
+			"api_version": httpapi.Version,
+		})
 	case "/metrics":
 		h.serveMetrics(w)
 	default:
-		http.NotFound(w, r)
+		httpapi.WriteError(w, http.StatusNotFound, httpapi.CodeNotFound, "no such route: "+r.URL.Path)
 	}
 }
 
@@ -149,9 +222,9 @@ func (h *Handler) serveMetrics(w http.ResponseWriter) {
 
 	var b metrics.Builder
 	b.Family("dynagg_serve_queries_total", "counter", "Lifetime queries answered across all clients.")
-	b.Value("dynagg_serve_queries_total", float64(h.iface.TotalQueries()))
+	b.Value("dynagg_serve_queries_total", float64(h.b.TotalQueries()))
 	b.Family("dynagg_serve_store_version", "gauge", "Store version currently answered from.")
-	b.Value("dynagg_serve_store_version", float64(h.iface.Version()))
+	b.Value("dynagg_serve_store_version", float64(h.b.Version()))
 	b.Family("dynagg_serve_per_key_budget", "gauge", "Per-API-key query budget per round (0 = unlimited).")
 	b.Int("dynagg_serve_per_key_budget", budget)
 	b.Family("dynagg_serve_key_queries_used", "gauge", "Queries charged to each API key this round.")
@@ -181,9 +254,9 @@ type wireStats struct {
 
 func (h *Handler) serveStats(w http.ResponseWriter) {
 	writeJSON(w, wireStats{
-		K:       h.iface.K(),
-		Queries: h.iface.TotalQueries(),
-		Version: h.iface.Version(),
+		K:       h.b.K(),
+		Queries: h.b.TotalQueries(),
+		Version: h.b.Version(),
 	})
 }
 
@@ -196,8 +269,8 @@ func apiKey(r *http.Request) string {
 }
 
 func (h *Handler) serveSchema(w http.ResponseWriter) {
-	sch := h.iface.Schema()
-	out := wireSchema{K: h.iface.K()}
+	sch := h.b.Schema()
+	out := wireSchema{K: h.b.K()}
 	for i := 0; i < sch.M(); i++ {
 		a := sch.Attr(i)
 		out.Attrs = append(out.Attrs, wireAttr{Name: a.Name, Domain: a.Domain, Nullable: a.Nullable})
@@ -205,44 +278,100 @@ func (h *Handler) serveSchema(w http.ResponseWriter) {
 	writeJSON(w, out)
 }
 
-func (h *Handler) serveSearch(w http.ResponseWriter, r *http.Request) {
+// parseWhere validates and assembles one query's "attr:value" predicate
+// strings. NewQuery panics on duplicates (trusted-caller API), so
+// untrusted wire input is rejected before it gets there.
+func (h *Handler) parseWhere(where []string) (hiddendb.Query, error) {
 	var preds []hiddendb.Pred
 	seen := make(map[int]bool)
-	for _, raw := range r.URL.Query()["where"] {
+	for _, raw := range where {
 		attr, val, err := parsePred(raw)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
+			return hiddendb.Query{}, err
 		}
-		if attr < 0 || attr >= h.iface.Schema().M() {
-			http.Error(w, fmt.Sprintf("unknown attribute %d", attr), http.StatusBadRequest)
-			return
+		if attr < 0 || attr >= h.b.Schema().M() {
+			return hiddendb.Query{}, fmt.Errorf("unknown attribute %d", attr)
 		}
 		if seen[attr] {
-			// NewQuery panics on duplicates (trusted-caller API); reject
-			// untrusted wire input before it gets there.
-			http.Error(w, fmt.Sprintf("duplicate predicate on attribute %d", attr), http.StatusBadRequest)
-			return
+			return hiddendb.Query{}, fmt.Errorf("duplicate predicate on attribute %d", attr)
 		}
 		seen[attr] = true
 		preds = append(preds, hiddendb.Pred{Attr: attr, Val: val})
 	}
-	// Charge the budget only for well-formed queries: a request rejected
-	// at parse time was never answered, so it must not burn a unit of G.
-	if !h.consumeBudget(apiKey(r)) {
-		http.Error(w, "per-round query budget exhausted", http.StatusTooManyRequests)
-		return
-	}
-	res, err := h.iface.Search(hiddendb.NewQuery(preds...))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	out := wireResult{K: h.iface.K(), Overflow: res.Overflow}
+	return hiddendb.NewQuery(preds...), nil
+}
+
+func (h *Handler) wireResultOf(res hiddendb.Result) wireResult {
+	out := wireResult{K: h.b.K(), Overflow: res.Overflow}
 	for _, t := range res.Tuples {
 		out.Tuples = append(out.Tuples, wireTuple{ID: t.ID, Vals: t.Vals, Aux: t.Aux})
 	}
-	writeJSON(w, out)
+	return out
+}
+
+func (h *Handler) serveSearch(w http.ResponseWriter, r *http.Request) {
+	q, err := h.parseWhere(r.URL.Query()["where"])
+	if err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
+		return
+	}
+	// Charge the budget only for well-formed queries: a request rejected
+	// at parse time was never answered, so it must not burn a unit of G.
+	if !h.consumeBudget(apiKey(r)) {
+		httpapi.WriteError(w, http.StatusTooManyRequests, httpapi.CodeBudgetExhausted,
+			"per-round query budget exhausted")
+		return
+	}
+	res, err := h.b.Search(q)
+	if err != nil {
+		httpapi.WriteError(w, http.StatusInternalServerError, httpapi.CodeInternal, err.Error())
+		return
+	}
+	writeJSON(w, h.wireResultOf(res))
+}
+
+// serveSearchBatch answers a POST /search: many queries, one round trip,
+// one snapshot/epoch pin, one budget charge per query. Any malformed
+// query rejects the WHOLE batch with 400 before any budget is charged;
+// after that, queries are charged in order and the ones the per-key
+// budget cannot cover come back as per-item budget_exhausted errors while
+// the covered ones are answered together via Backend.SearchBatch.
+func (h *Handler) serveSearchBatch(w http.ResponseWriter, r *http.Request) {
+	var req wireBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, "batch decode: "+err.Error())
+		return
+	}
+	qs := make([]hiddendb.Query, len(req.Queries))
+	for i, wq := range req.Queries {
+		q, err := h.parseWhere(wq.Where)
+		if err != nil {
+			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+				fmt.Sprintf("query %d: %s", i, err))
+			return
+		}
+		qs[i] = q
+	}
+	key := apiKey(r)
+	items := make([]wireBatchItem, len(qs))
+	charged := make([]hiddendb.Query, 0, len(qs))
+	chargedIdx := make([]int, 0, len(qs))
+	for i, q := range qs {
+		if !h.consumeBudget(key) {
+			items[i].Error = &httpapi.Error{
+				Code:    httpapi.CodeBudgetExhausted,
+				Message: "per-round query budget exhausted",
+			}
+			continue
+		}
+		charged = append(charged, q)
+		chargedIdx = append(chargedIdx, i)
+	}
+	for j, res := range h.b.SearchBatch(charged) {
+		wr := h.wireResultOf(res)
+		items[chargedIdx[j]].Result = &wr
+	}
+	writeJSON(w, wireBatchResponse{K: h.b.K(), Results: items})
 }
 
 func parsePred(raw string) (int, uint16, error) {
@@ -308,6 +437,10 @@ type Client struct {
 	k    int
 	http *http.Client
 	opts ClientOptions
+	// customWire records that the caller injected a site-specific
+	// Request/Parse pair; the native batched POST then does not apply and
+	// SearchBatch degrades to sequential single-query requests.
+	customWire bool
 
 	mu     sync.Mutex // guards nextAt
 	nextAt time.Time
@@ -330,7 +463,9 @@ func (e *BudgetExhaustedError) Error() string {
 // Unwrap makes errors.Is(err, hiddendb.ErrBudgetExhausted) true.
 func (e *BudgetExhaustedError) Unwrap() error { return hiddendb.ErrBudgetExhausted }
 
-// Dial fetches the remote schema and returns a ready client.
+// Dial fetches the remote schema and returns a ready client. The client
+// speaks the versioned API ("/v1/..." routes); servers one release behind
+// still answer them via their legacy aliases.
 func Dial(base string, opts ClientOptions) (*Client, error) {
 	if opts.HTTPClient == nil {
 		opts.HTTPClient = &http.Client{Timeout: 30 * time.Second}
@@ -338,15 +473,16 @@ func Dial(base string, opts ClientOptions) (*Client, error) {
 	if opts.Retries == 0 {
 		opts.Retries = 2
 	}
+	custom := opts.Request != nil || opts.Parse != nil
 	if opts.Request == nil {
 		opts.Request = defaultRequest
 	}
 	if opts.Parse == nil {
 		opts.Parse = defaultParse
 	}
-	c := &Client{base: strings.TrimRight(base, "/"), http: opts.HTTPClient, opts: opts}
+	c := &Client{base: strings.TrimRight(base, "/"), http: opts.HTTPClient, opts: opts, customWire: custom}
 
-	resp, err := c.http.Get(c.base + "/schema")
+	resp, err := c.http.Get(c.base + "/" + httpapi.Version + "/schema")
 	if err != nil {
 		return nil, fmt.Errorf("webiface: schema fetch: %w", err)
 	}
@@ -411,6 +547,126 @@ func (c *Client) SearchContext(ctx context.Context, q hiddendb.Query) (hiddendb.
 	return hiddendb.Result{}, fmt.Errorf("webiface: search failed after retries: %w", lastErr)
 }
 
+// SearchBatch issues many queries as ONE batched POST — one rate-limit
+// slot, one round trip, one server-side snapshot/epoch pin. The returned
+// items are in query order; per-query budget errors travel inside them
+// (unwrapping to hiddendb.ErrBudgetExhausted), while the error return is
+// a whole-batch transport failure. Clients built around a site-specific
+// wire format (custom Request/Parse) have no batch endpoint and fall back
+// to sequential single-query requests.
+func (c *Client) SearchBatch(qs []hiddendb.Query) ([]hiddendb.BatchItem, error) {
+	return c.SearchBatchContext(context.Background(), qs)
+}
+
+// SearchBatchContext is SearchBatch with caller-controlled cancellation,
+// mirroring SearchContext's retry/backoff/timeout behaviour. Note that
+// retrying a failed batch re-charges the server-side budget for every
+// query in it, just as retrying a single query re-charges one.
+func (c *Client) SearchBatchContext(ctx context.Context, qs []hiddendb.Query) ([]hiddendb.BatchItem, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	if c.customWire {
+		items := make([]hiddendb.BatchItem, len(qs))
+		for i, q := range qs {
+			r, err := c.SearchContext(ctx, q)
+			items[i] = hiddendb.BatchItem{Result: r, Err: err}
+		}
+		return items, nil
+	}
+	if err := c.waitSlot(ctx); err != nil {
+		return nil, err
+	}
+	var lastErr error
+	backoff := 100 * time.Millisecond
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, backoff); err != nil {
+				return nil, err
+			}
+			backoff *= 2
+		}
+		items, retryable, err := c.batchAttempt(ctx, qs)
+		if err == nil {
+			return items, nil
+		}
+		if !retryable {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("webiface: batch search failed after retries: %w", lastErr)
+}
+
+// batchAttempt performs one batched request/parse cycle against the
+// versioned batch endpoint, with the same failure classification as
+// attempt.
+func (c *Client) batchAttempt(ctx context.Context, qs []hiddendb.Query) (items []hiddendb.BatchItem, retryable bool, err error) {
+	actx := ctx
+	if c.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.opts.RequestTimeout)
+		defer cancel()
+	}
+	req := wireBatchRequest{Queries: make([]wireBatchQuery, len(qs))}
+	for i, q := range qs {
+		where := make([]string, 0, q.Len())
+		for _, p := range q.Preds() {
+			where = append(where, fmt.Sprintf("%d:%d", p.Attr, p.Val))
+		}
+		req.Queries[i] = wireBatchQuery{Where: where}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, false, err
+	}
+	hreq, err := http.NewRequestWithContext(actx, http.MethodPost,
+		c.base+"/"+httpapi.Version+"/search", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if c.opts.APIKey != "" {
+		hreq.Header.Set("X-API-Key", c.opts.APIKey)
+	}
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, false, ctx.Err()
+		}
+		return nil, true, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return nil, false, &BudgetExhaustedError{Status: resp.Status}
+	case resp.StatusCode != http.StatusOK:
+		return nil, resp.StatusCode >= 500, statusError("batch search", resp)
+	}
+	var wr wireBatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+		return nil, true, fmt.Errorf("webiface: batch decode: %w", err)
+	}
+	if len(wr.Results) != len(qs) {
+		return nil, false, fmt.Errorf("webiface: batch answered %d of %d queries", len(wr.Results), len(qs))
+	}
+	items = make([]hiddendb.BatchItem, len(qs))
+	for i, it := range wr.Results {
+		switch {
+		case it.Error != nil && it.Error.Code == httpapi.CodeBudgetExhausted:
+			items[i].Err = &BudgetExhaustedError{Status: it.Error.Message}
+		case it.Error != nil:
+			e := *it.Error
+			items[i].Err = fmt.Errorf("webiface: batch item %d: %w", i, &e)
+		case it.Result != nil:
+			items[i].Result = resultFromWire(*it.Result)
+		default:
+			items[i].Err = fmt.Errorf("webiface: batch item %d: empty", i)
+		}
+	}
+	return items, false, nil
+}
+
 // attempt performs one request/parse cycle, classifying failures as
 // retryable (transient network/server trouble) or terminal.
 func (c *Client) attempt(ctx context.Context, q hiddendb.Query) (res hiddendb.Result, retryable bool, err error) {
@@ -441,14 +697,23 @@ func (c *Client) attempt(ctx context.Context, q hiddendb.Query) (res hiddendb.Re
 	case resp.StatusCode == http.StatusTooManyRequests:
 		return hiddendb.Result{}, false, &BudgetExhaustedError{Status: resp.Status}
 	case resp.StatusCode != http.StatusOK:
-		return hiddendb.Result{}, resp.StatusCode >= 500,
-			fmt.Errorf("webiface: search: %s", resp.Status)
+		return hiddendb.Result{}, resp.StatusCode >= 500, statusError("search", resp)
 	}
 	res, err = c.opts.Parse(resp)
 	if err != nil {
 		return hiddendb.Result{}, true, err
 	}
 	return res, false, nil
+}
+
+// statusError turns a non-200 response into an error, decoding the JSON
+// error envelope when the server sent one (legacy plain-text bodies fall
+// back to the bare status line).
+func statusError(op string, resp *http.Response) error {
+	if e, ok := httpapi.DecodeError(resp.Body); ok {
+		return fmt.Errorf("webiface: %s: %s: %w", op, resp.Status, &e)
+	}
+	return fmt.Errorf("webiface: %s: %s", op, resp.Status)
 }
 
 // waitSlot claims the next rate-limited send slot and sleeps until it,
@@ -491,7 +756,7 @@ func defaultRequest(ctx context.Context, base string, q hiddendb.Query) (*http.R
 	for _, p := range q.Preds() {
 		vals.Add("where", fmt.Sprintf("%d:%d", p.Attr, p.Val))
 	}
-	u := base + "/search"
+	u := base + "/" + httpapi.Version + "/search"
 	if enc := vals.Encode(); enc != "" {
 		u += "?" + enc
 	}
@@ -503,11 +768,16 @@ func defaultParse(resp *http.Response) (hiddendb.Result, error) {
 	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
 		return hiddendb.Result{}, fmt.Errorf("webiface: result decode: %w", err)
 	}
+	return resultFromWire(wr), nil
+}
+
+// resultFromWire converts a decoded wire result to the engine type.
+func resultFromWire(wr wireResult) hiddendb.Result {
 	out := hiddendb.Result{Overflow: wr.Overflow}
 	for _, t := range wr.Tuples {
 		out.Tuples = append(out.Tuples, &schema.Tuple{ID: t.ID, Vals: t.Vals, Aux: t.Aux})
 	}
-	return out, nil
+	return out
 }
 
 // Session wraps the client with a per-round budget, mirroring
@@ -536,6 +806,35 @@ func (s *Session) Search(q hiddendb.Query) (hiddendb.Result, error) {
 	return s.c.Search(q)
 }
 
+// SearchBatch issues many queries as one batched round trip, claiming
+// budget per query in order: queries past the point of exhaustion come
+// back with hiddendb.ErrBudgetExhausted in their item, exactly as the
+// sequential path would fail them. The error return is a whole-batch
+// transport failure (no per-query attribution possible).
+func (s *Session) SearchBatch(qs []hiddendb.Query) ([]hiddendb.BatchItem, error) {
+	items := make([]hiddendb.BatchItem, len(qs))
+	claimed := make([]hiddendb.Query, 0, len(qs))
+	claimedIdx := make([]int, 0, len(qs))
+	for i, q := range qs {
+		if _, ok := s.bc.Claim(); !ok {
+			items[i].Err = hiddendb.ErrBudgetExhausted
+			continue
+		}
+		claimed = append(claimed, q)
+		claimedIdx = append(claimedIdx, i)
+	}
+	if len(claimed) > 0 {
+		got, err := s.c.SearchBatch(claimed)
+		if err != nil {
+			return nil, err
+		}
+		for j, it := range got {
+			items[claimedIdx[j]] = it
+		}
+	}
+	return items, nil
+}
+
 // K returns the remote cap.
 func (s *Session) K() int { return s.c.K() }
 
@@ -552,3 +851,4 @@ func (s *Session) Remaining() int { return s.bc.Remaining() }
 func (s *Session) Budget() int { return s.bc.Budget() }
 
 var _ hiddendb.ConcurrentSearcher = (*Session)(nil)
+var _ hiddendb.BatchSearcher = (*Session)(nil)

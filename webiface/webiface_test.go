@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -174,7 +175,7 @@ func TestClientRetriesTransientErrors(t *testing.T) {
 	inner := NewHandler(iface)
 	var calls int32
 	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/search" && atomic.AddInt32(&calls, 1)%3 == 1 {
+		if strings.HasSuffix(r.URL.Path, "/search") && atomic.AddInt32(&calls, 1)%3 == 1 {
 			http.Error(w, "temporarily unavailable", http.StatusServiceUnavailable)
 			return
 		}
@@ -196,7 +197,7 @@ func TestClientRetriesTransientErrors(t *testing.T) {
 func TestClientDoesNotRetryClientErrors(t *testing.T) {
 	var calls int32
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/schema" {
+		if strings.HasSuffix(r.URL.Path, "/schema") {
 			_, _ = w.Write([]byte(`{"k":10,"attrs":[{"name":"a","domain":["x","y"]}]}`))
 			return
 		}
@@ -256,7 +257,7 @@ func TestServerBudgetTypedError(t *testing.T) {
 	h.SetPerKeyBudget(3)
 	var searches int32
 	counting := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/search" {
+		if strings.HasSuffix(r.URL.Path, "/search") {
 			atomic.AddInt32(&searches, 1)
 		}
 		h.ServeHTTP(w, r)
@@ -326,7 +327,7 @@ func TestSearchContextCancellation(t *testing.T) {
 	inner := NewHandler(iface)
 	release := make(chan struct{})
 	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/search" {
+		if strings.HasSuffix(r.URL.Path, "/search") {
 			<-release
 		}
 		inner.ServeHTTP(w, r)
@@ -362,7 +363,7 @@ func TestRequestTimeoutRetriesSlowAttempts(t *testing.T) {
 	inner := NewHandler(iface)
 	var calls int32
 	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/search" {
+		if strings.HasSuffix(r.URL.Path, "/search") {
 			if atomic.AddInt32(&calls, 1) <= 2 {
 				time.Sleep(200 * time.Millisecond) // beyond the attempt timeout
 			}
