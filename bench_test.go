@@ -30,6 +30,7 @@ import (
 // means as metrics.
 func benchFigure(b *testing.B, id string) {
 	b.Helper()
+	b.ReportAllocs()
 	opt := experiments.DefaultOptions()
 	var fig *experiments.Figure
 	for i := 0; i < b.N; i++ {
@@ -109,6 +110,7 @@ func BenchmarkAblationClientCache(b *testing.B) {
 			name = "client-cache"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			data := workload.AutosLikeN(1, 20000, 12)
 			env, err := workload.NewEnv(data, 18000, 2)
 			if err != nil {
@@ -136,6 +138,7 @@ func BenchmarkAblationClientCache(b *testing.B) {
 func BenchmarkAblationRSPilot(b *testing.B) {
 	for _, pilot := range []int{5, 10, 20} {
 		b.Run(map[int]string{5: "pilot5", 10: "pilot10", 20: "pilot20"}[pilot], func(b *testing.B) {
+			b.ReportAllocs()
 			var finalErr float64
 			for i := 0; i < b.N; i++ {
 				data := workload.AutosLikeN(1, 20000, 12)
@@ -173,6 +176,7 @@ func BenchmarkAblationRSPilot(b *testing.B) {
 // exact at a per-round cost equal to the frontier size — compare the
 // reported final_relerr with the sampling estimators'.
 func BenchmarkAblationCountMetadata(b *testing.B) {
+	b.ReportAllocs()
 	var finalErr, frontier float64
 	for i := 0; i < b.N; i++ {
 		data := workload.AutosLikeN(1, 40000, 38)
@@ -209,6 +213,7 @@ func BenchmarkAblationCountMetadata(b *testing.B) {
 // cost of ONE complete snapshot — two are needed before any change can be
 // diffed.
 func BenchmarkAblationCrawl(b *testing.B) {
+	b.ReportAllocs()
 	var crawlCost float64
 	for i := 0; i < b.N; i++ {
 		data := workload.AutosLikeN(1, 30000, 12)
@@ -254,6 +259,7 @@ func BenchmarkRunTrackingWorkers(b *testing.B) {
 	}
 	for _, w := range workerCounts {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			opt := experiments.Options{Seed: 1, Workers: w}
 			for i := 0; i < b.N; i++ {
 				if _, err := experiments.RunTracking(spec, opt, trials); err != nil {
@@ -300,6 +306,7 @@ func BenchmarkServingConcurrent(b *testing.B) {
 	workerCounts := []int{1, 2, 4, 8}
 	for _, w := range workerCounts {
 		b.Run(fmt.Sprintf("clients=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			b.ResetTimer()
 			var wg sync.WaitGroup
 			per := b.N / w
@@ -339,6 +346,7 @@ func BenchmarkServingConcurrent(b *testing.B) {
 		}
 		for _, w := range []int{1, 8} {
 			b.Run(fmt.Sprintf("shards=%d/clients=%d", shards, w), func(b *testing.B) {
+				b.ReportAllocs()
 				stop := make(chan struct{})
 				var mutWG sync.WaitGroup
 				mutWG.Add(1)
@@ -401,6 +409,7 @@ func BenchmarkStoreSearch(b *testing.B) {
 	}
 	iface := hiddendb.NewIface(env.Store, 1000, nil)
 	q := hiddendb.NewQuery(hiddendb.Pred{Attr: 0, Val: 0}, hiddendb.Pred{Attr: 1, Val: 1})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// Touch the store version so the cache cannot serve the answer.
@@ -423,6 +432,7 @@ func BenchmarkDrillDown(b *testing.B) {
 	iface := hiddendb.NewIface(env.Store, 1000, nil)
 	tree := querytree.New(env.Store.Schema())
 	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sig := tree.RandomSignature(rng)
@@ -459,6 +469,7 @@ func BenchmarkUpdateDrill(b *testing.B) {
 	if err := env.InsertFromPool(1000); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d := drills[i%len(drills)]
@@ -475,6 +486,7 @@ func BenchmarkApplyBatch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := env.DeleteFraction(0.001); err != nil {

@@ -18,12 +18,17 @@ import (
 	"strings"
 )
 
-// benchResult is one benchmark line, normalised.
+// benchResult is one benchmark line, normalised. The -benchmem pair
+// (B/op, allocs/op) is promoted to first-class fields — allocation
+// regressions on the serving hot path are tracked as closely as latency,
+// and downstream tooling shouldn't have to know the Go unit strings.
 type benchResult struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"ns_per_op"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // report is the whole run.
@@ -71,9 +76,16 @@ func main() {
 				break
 			}
 			unit := fields[i+1]
-			if unit == "ns/op" {
+			switch unit {
+			case "ns/op":
 				r.NsPerOp = v
-			} else {
+			case "B/op":
+				b := v
+				r.BytesPerOp = &b
+			case "allocs/op":
+				a := v
+				r.AllocsPerOp = &a
+			default:
 				r.Metrics[unit] = v
 			}
 		}

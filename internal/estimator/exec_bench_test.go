@@ -43,6 +43,7 @@ func BenchmarkEstimatorExec(b *testing.B) {
 	} {
 		for _, w := range []int{1, 4} {
 			b.Run(fmt.Sprintf("%s/workers=%d", mode.name, w), func(b *testing.B) {
+				b.ReportAllocs()
 				te := newTestEnv(b, 11, 30000, 27000, 100)
 				c := cfg(12)
 				c.Parallelism = w

@@ -24,6 +24,7 @@ func BenchmarkConcurrentSessions(b *testing.B) {
 	)
 	for _, w := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("sessions=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			data := workload.AutosLikeN(1, 30000, 12)
 			env, err := workload.NewEnv(data, 27000, 2)
 			if err != nil {

@@ -29,6 +29,7 @@ func BenchmarkFleetScheduler(b *testing.B) {
 
 	for _, tasks := range []int{1, 8} {
 		b.Run(fmt.Sprintf("tasks=%d", tasks), func(b *testing.B) {
+			b.ReportAllocs()
 			mgr, err := New(Config{TickBudget: 256})
 			if err != nil {
 				b.Fatal(err)

@@ -18,9 +18,11 @@ import (
 type Scorer func(*schema.Tuple) float64
 
 // DefaultScorer ranks tuples by a deterministic hash of their ID — an
-// arbitrary-but-stable stand-in for a site's relevance ranking.
+// arbitrary-but-stable stand-in for a site's relevance ranking. It is a
+// pure function of the tuple ID, which the answering engine exploits to
+// rank candidates straight off posting containers (idscore.go).
 func DefaultScorer(t *schema.Tuple) float64 {
-	return float64(splitmix64(t.ID)) / float64(^uint64(0))
+	return defaultScoreID(t.ID)
 }
 
 // AuxScorer ranks tuples by their i-th auxiliary payload (e.g. price),

@@ -11,6 +11,19 @@
 //     This is all an estimator may use.
 //   - Session: a per-round budget wrapper around an Iface, enforcing the
 //     database-imposed limit G (paper §2.1: per-IP/per-key daily limits).
+//
+// # Concurrency contract
+//
+// Published Snapshots (and their posting lists) are immutable; any number
+// of goroutines may answer queries against one concurrently. The store
+// clones index structures copy-on-write before mutating, so readers never
+// observe a partial update. Per-query working memory comes from a
+// process-wide sync.Pool of queryScratch values (scratch.go): a scratch
+// is owned by exactly one goroutine from getScratch to putScratch, never
+// escapes the query that borrowed it (results are freshly allocated), and
+// holds no snapshot references while pooled. The scatter-gather path
+// hands each gather worker its own scratch rather than sharing one.
+// docs/perf.md describes the index layout and kernel selection rules.
 package hiddendb
 
 import (
@@ -19,6 +32,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"github.com/dynagg/dynagg/internal/schema"
 )
@@ -68,21 +82,33 @@ func (q Query) Preds() []Pred { return q.preds }
 // Len returns the number of predicates.
 func (q Query) Len() int { return len(q.preds) }
 
+// keyBufPool recycles Key's encoding buffer across calls; only the
+// returned string itself is allocated.
+var keyBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 64)
+	return &b
+}}
+
 // Key returns a canonical string encoding, usable as a cache/map key.
 // It is called once per search on the hot path, so it appends digits
-// directly (strconv) rather than going through fmt's reflection.
+// directly (strconv) into a pooled buffer rather than going through
+// fmt's reflection: at most one allocation per call, the string.
 func (q Query) Key() string {
 	if len(q.preds) == 0 {
 		return ""
 	}
-	b := make([]byte, 0, len(q.preds)*8)
+	bp := keyBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
 	for _, p := range q.preds {
 		b = strconv.AppendInt(b, int64(p.Attr), 10)
 		b = append(b, '=')
 		b = strconv.AppendUint(b, uint64(p.Val), 10)
 		b = append(b, ';')
 	}
-	return string(b)
+	s := string(b)
+	*bp = b
+	keyBufPool.Put(bp)
+	return s
 }
 
 // String renders the query with attribute names from the schema.
@@ -101,7 +127,14 @@ func (q Query) String() string {
 // policy. With broad match enabled, a NULL value matches any predicate on
 // its attribute (paper §5 "Other Issues").
 func (q Query) Matches(t *schema.Tuple, broadMatchNull bool) bool {
-	for _, p := range q.preds {
+	return matchesPreds(t, q.preds, broadMatchNull)
+}
+
+// matchesPreds is Matches over a predicate subset — the answering paths
+// use it to filter only the predicates not already covered by a posting
+// intersection or prefix range.
+func matchesPreds(t *schema.Tuple, preds []Pred, broadMatchNull bool) bool {
+	for _, p := range preds {
 		v := t.Vals[p.Attr]
 		if v == p.Val {
 			continue

@@ -1,0 +1,177 @@
+package hiddendb
+
+import (
+	"sync"
+
+	"github.com/dynagg/dynagg/internal/schema"
+)
+
+// Pooled per-query scratch.
+//
+// Every query borrows one queryScratch from a process-wide sync.Pool for
+// the duration of the call: intersection ping-pong buffers, the covered/
+// uncovered predicate split, and the top-k heap backing all live here, so
+// the steady-state answering path allocates only the Result slice it
+// hands back. The pool is snapshot-independent — scratch holds no
+// reference to any snapshot after putScratch, which nils out every
+// pointer-carrying field precisely so the pool cannot pin tuples (or,
+// through them, retired snapshots) in memory.
+//
+// Ownership rule (part of the package concurrency contract): scratch
+// never escapes the query that borrowed it. Results are freshly
+// allocated by topK.drain, survivors/buffers are only ever read between
+// getScratch and putScratch, and a scratch is owned by exactly one
+// goroutine at a time — the scatter-gather path gives each worker
+// goroutine its own scratch rather than sharing one.
+
+// topK keeps the best k tuples seen so far, ranked by the strict
+// (score desc, ID asc) total order, as a manual binary heap over two
+// parallel slices. The root is the WORST retained entry, so a full heap
+// decides keep-or-drop against index 0 in O(1) and replaces in O(log k).
+// Replacing container/heap removed the any-boxing that allocated on
+// every push (one escape per retained tuple, ~k allocs per query).
+type topK struct {
+	tuples []*schema.Tuple
+	scores []float64
+}
+
+func (h *topK) reset() {
+	h.tuples = h.tuples[:0]
+	h.scores = h.scores[:0]
+}
+
+func (h *topK) len() int { return len(h.tuples) }
+
+// worse reports whether entry i ranks strictly below entry j: lower
+// score, or equal score and larger ID.
+func (h *topK) worse(i, j int) bool {
+	if h.scores[i] != h.scores[j] {
+		return h.scores[i] < h.scores[j]
+	}
+	return h.tuples[i].ID > h.tuples[j].ID
+}
+
+func (h *topK) swap(i, j int) {
+	h.tuples[i], h.tuples[j] = h.tuples[j], h.tuples[i]
+	h.scores[i], h.scores[j] = h.scores[j], h.scores[i]
+}
+
+func (h *topK) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.worse(i, p) {
+			return
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *topK) siftDown(i int) {
+	n := len(h.tuples)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.worse(r, l) {
+			m = r
+		}
+		if !h.worse(m, i) {
+			return
+		}
+		h.swap(i, m)
+		i = m
+	}
+}
+
+// offer considers one scored tuple for the top k: push while under
+// capacity, else replace the current worst if strictly better under the
+// (score desc, ID asc) order.
+func (h *topK) offer(t *schema.Tuple, s float64, k int) {
+	if len(h.tuples) < k {
+		h.tuples = append(h.tuples, t)
+		h.scores = append(h.scores, s)
+		h.siftUp(len(h.tuples) - 1)
+		return
+	}
+	if s > h.scores[0] || (s == h.scores[0] && t.ID < h.tuples[0].ID) {
+		h.tuples[0], h.scores[0] = t, s
+		h.siftDown(0)
+	}
+}
+
+// drain empties the heap into a freshly allocated best-first slice —
+// popping worst-first and filling from the back yields exactly the
+// (score desc, ID asc) ranking Result promises. This is the one
+// steady-state allocation of the answering path.
+func (h *topK) drain() []*schema.Tuple {
+	out := make([]*schema.Tuple, len(h.tuples))
+	for i := len(h.tuples) - 1; i >= 0; i-- {
+		out[i] = h.tuples[0]
+		last := len(h.tuples) - 1
+		h.tuples[0], h.scores[0] = h.tuples[last], h.scores[last]
+		h.tuples = h.tuples[:last]
+		h.scores = h.scores[:last]
+		h.siftDown(0)
+	}
+	return out
+}
+
+// queryScratch is the reusable per-query working set.
+type queryScratch struct {
+	topk    topK
+	idtop   idTopK // ID-domain heap for ID-pure scorers (idscore.go)
+	matches int
+
+	// plan storage: covered predicates (posting lists to intersect) and
+	// uncovered ones (filtered tuple-by-tuple at emit time).
+	preds []predPostings
+	rest  []Pred
+
+	// prefix-range probe vector.
+	prefix []uint16
+
+	// intersection buffers: bufA/bufB ping-pong the running survivor
+	// set, bufC/bufD hold the two per-predicate parts (value list and
+	// NULL list) before their disjoint union.
+	bufA, bufB, bufC, bufD []uint16
+
+	// scatter-gather: the per-worker scratches a merge borrows, held
+	// only between fan-out and merge.
+	workers []*queryScratch
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
+
+func getScratch() *queryScratch { return scratchPool.Get().(*queryScratch) }
+
+// putScratch returns a scratch to the pool with every pointer-carrying
+// field cleared, so pooled scratch never keeps tuples, posting lists or
+// snapshots alive.
+func putScratch(sc *queryScratch) {
+	ts := sc.topk.tuples[:cap(sc.topk.tuples)]
+	for i := range ts {
+		ts[i] = nil
+	}
+	sc.topk.reset()
+	cs := sc.idtop.srcC[:cap(sc.idtop.srcC)]
+	for i := range cs {
+		cs[i] = nil
+	}
+	sc.idtop.reset()
+	ps := sc.preds[:cap(sc.preds)]
+	for i := range ps {
+		ps[i] = predPostings{}
+	}
+	sc.preds = sc.preds[:0]
+	sc.rest = sc.rest[:0]
+	ws := sc.workers[:cap(sc.workers)]
+	for i := range ws {
+		ws[i] = nil
+	}
+	sc.workers = sc.workers[:0]
+	sc.matches = 0
+	scratchPool.Put(sc)
+}

@@ -292,71 +292,67 @@ func (e *Epoch) CountMatching(q Query) int {
 }
 
 // Answer computes the top-k result for q by scatter-gather: each pinned
-// shard snapshot answers independently (in parallel when workers > 1), the
-// partials are gathered in shard order, and the global top-k cut is
-// applied after the merge under the same strict (score desc, ID asc) order
-// Snapshot.Answer ranks by.
+// shard snapshot folds its matches into a running top-k heap (per-worker
+// heaps when workers > 1, merged afterwards), so the global cut happens
+// under the same strict (score desc, ID asc) order Snapshot.Answer ranks
+// by, without materialising per-shard partial Results. All heaps and
+// buffers come from the shared scratch pool — each worker goroutine
+// borrows its own scratch — and the only steady-state allocation is the
+// returned Result slice.
 //
-// Byte-identity with the unsharded engine: every tuple of the global top-k
-// is necessarily in its own shard's top-k (per-shard rank can only be
-// better than global rank), so the union of per-shard top-k results
-// contains the global top-k; and because a non-overflowing shard returns
-// ALL its matches, the exact global overflow predicate matches > k is
-// recoverable as anyShardOverflow || totalGathered > k.
+// Byte-identity with the unsharded engine: every tuple of the global
+// top-k is necessarily in its own shard's top-k (per-shard rank can only
+// be better than global rank), so offering every per-shard retained
+// tuple to the merge heap reconstructs the global top-k exactly; and
+// since each shard counts ALL its matches, the exact global overflow
+// predicate is totalMatches > k, independent of shard count and worker
+// assignment.
 func (e *Epoch) Answer(q Query, k int, scorer Scorer, workers int) Result {
-	partials := make([]Result, len(e.snaps))
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.topk.reset()
+	total := 0
 	if workers > 1 && len(e.snaps) > 1 {
 		if workers > len(e.snaps) {
 			workers = len(e.snaps)
 		}
+		ws := sc.workers[:0]
+		for w := 0; w < workers; w++ {
+			ws = append(ws, getScratch())
+		}
+		sc.workers = ws
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(wsc *queryScratch) {
 				defer wg.Done()
+				wsc.topk.reset()
+				sum := 0
 				for {
 					i := int(next.Add(1) - 1)
 					if i >= len(e.snaps) {
-						return
+						break
 					}
-					partials[i] = e.snaps[i].Answer(q, k, scorer)
+					sum += e.snaps[i].collectTopK(q, k, scorer, wsc)
 				}
-			}()
+				wsc.matches = sum
+			}(ws[w])
 		}
 		wg.Wait()
+		for _, wsc := range ws {
+			total += wsc.matches
+			for i := range wsc.topk.tuples {
+				sc.topk.offer(wsc.topk.tuples[i], wsc.topk.scores[i], k)
+			}
+			putScratch(wsc)
+		}
 	} else {
-		for i, s := range e.snaps {
-			partials[i] = s.Answer(q, k, scorer)
+		for _, s := range e.snaps {
+			total += s.collectTopK(q, k, scorer, sc)
 		}
 	}
-	return mergeTopK(partials, k, scorer)
-}
-
-// mergeTopK merges per-shard partial results (gathered in shard order)
-// into the global top-k. The (score desc, ID asc) order is strict and
-// total — IDs are unique — so the merged ranking is deterministic and
-// independent of both shard count and gather order.
-func mergeTopK(partials []Result, k int, scorer Scorer) Result {
-	total := 0
-	overflow := false
-	for _, p := range partials {
-		total += len(p.Tuples)
-		overflow = overflow || p.Overflow
-	}
-	tuples := make([]*schema.Tuple, 0, total)
-	for _, p := range partials {
-		tuples = append(tuples, p.Tuples...)
-	}
-	scores := make([]float64, len(tuples))
-	for i, t := range tuples {
-		scores[i] = scorer(t)
-	}
-	sort.Sort(&rankSort{tuples: tuples, scores: scores})
-	if len(tuples) > k {
-		tuples = tuples[:k]
-	}
-	return Result{Tuples: tuples, Overflow: overflow || total > k}
+	return Result{Tuples: sc.topk.drain(), Overflow: total > k}
 }
 
 // ShardedIface is the restrictive top-k search view over a ShardedStore:

@@ -1,7 +1,6 @@
 package hiddendb
 
 import (
-	"container/heap"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -10,23 +9,29 @@ import (
 )
 
 // Snapshot is one immutable, fully consistent version of a Store: the
-// sorted tuple slice plus per-(attribute, value) inverted posting lists.
-// A snapshot never changes after publication — the Store copy-on-writes
-// every slice and map a snapshot references before mutating it — so any
-// number of goroutines may answer queries against one snapshot while the
-// harness prepares the next round's updates.
+// sorted tuple slice plus per-(attribute, value) roaring-style posting
+// lists (see posting.go). A snapshot never changes after publication —
+// the Store copy-on-writes every slice, map and posting container a
+// snapshot references before mutating it — so any number of goroutines
+// may answer queries against one snapshot while the harness prepares the
+// next round's updates.
 //
 // Query answering picks between three strategies by estimated cost:
 //
 //   - prefix: canonical-prefix binary search to a contiguous tuple range;
-//   - postings: iterate the smallest materialised posting list among the
-//     query's predicates and filter the remaining predicates;
+//   - postings: intersect the candidate posting lists of every covered
+//     predicate — seeded from the smallest — with the galloping/bitmap
+//     kernels in intersect.go, then gather only the survivors back to
+//     tuples;
 //   - scan: the full O(n) pass (the only option the pre-snapshot engine
 //     had for non-prefix queries).
 //
 // All three return byte-identical Results: the top-k set under the strict
 // (score desc, ID asc) order is independent of iteration order, which the
 // equivalence tests in snapshot_test.go verify exhaustively.
+//
+// The answering path allocates only the Result slice it returns; all
+// intermediate state lives in pooled per-query scratch (scratch.go).
 type Snapshot struct {
 	sch            *schema.Schema
 	tuples         []*schema.Tuple // canonical (Vals, ID) order
@@ -36,35 +41,37 @@ type Snapshot struct {
 }
 
 // snapAttr holds one attribute's posting lists. Store-maintained
-// attributes carry their (immutable, ID-sorted) lists directly; inactive
-// attributes get a lazyIndex that is built on first demand by whichever
-// reader needs it, and whose demand flag tells the Store to start
-// maintaining that attribute incrementally from the next version on.
+// attributes carry their (immutable) lists directly; inactive attributes
+// get a lazyIndex that is built on first demand by whichever reader needs
+// it, and whose demand flag tells the Store to start maintaining that
+// attribute incrementally from the next version on.
 type snapAttr struct {
-	lists map[uint16][]*schema.Tuple
+	lists map[uint16]*postingList
 	lazy  *lazyIndex
 }
 
 // lazyIndex builds an attribute's posting lists on first use, once,
-// shared by all readers of the snapshot. Lazily built lists are in
-// canonical tuple order (build order), not ID order — answering is
-// order-insensitive, only the Store's incrementally maintained lists need
-// the ID-sort invariant.
+// shared by all readers of the snapshot.
 type lazyIndex struct {
 	once     sync.Once
-	built    atomic.Pointer[map[uint16][]*schema.Tuple]
+	built    atomic.Pointer[map[uint16]*postingList]
 	demanded atomic.Bool
 }
 
 // build scans the snapshot's tuples once and materialises every value's
 // posting list for the attribute.
-func (li *lazyIndex) build(attr int, tuples []*schema.Tuple) map[uint16][]*schema.Tuple {
+func (li *lazyIndex) build(attr int, tuples []*schema.Tuple) map[uint16]*postingList {
 	li.demanded.Store(true)
 	li.once.Do(func() {
-		m := make(map[uint16][]*schema.Tuple)
+		byVal := make(map[uint16][]*schema.Tuple)
 		for _, t := range tuples {
 			v := t.Vals[attr]
-			m[v] = append(m[v], t)
+			byVal[v] = append(byVal[v], t)
+		}
+		m := make(map[uint16]*postingList, len(byVal))
+		for v, l := range byVal {
+			sortTuplesByID(l)
+			m[v] = buildPostingList(l)
 		}
 		li.built.Store(&m)
 	})
@@ -72,7 +79,7 @@ func (li *lazyIndex) build(attr int, tuples []*schema.Tuple) map[uint16][]*schem
 }
 
 // loaded returns the lists if already built, without triggering a build.
-func (li *lazyIndex) loaded() map[uint16][]*schema.Tuple {
+func (li *lazyIndex) loaded() map[uint16]*postingList {
 	if p := li.built.Load(); p != nil {
 		return *p
 	}
@@ -99,10 +106,18 @@ func (s *Snapshot) ForEach(fn func(*schema.Tuple)) {
 }
 
 // CountMatching returns |Sel(q)| exactly — ground truth only, never
-// exposed through the restricted interface.
+// exposed through the restricted interface. When every predicate is
+// covered by posting lists the count comes straight off the intersection
+// survivor sizes, without gathering a single tuple.
 func (s *Snapshot) CountMatching(q Query) int {
+	sc := getScratch()
+	defer putScratch(sc)
+	pln := s.plan(q, strategyAuto, sc)
+	if pln.postings && len(pln.rest) == 0 {
+		return s.countPostings(&pln, sc)
+	}
 	n := 0
-	s.forEachMatching(q, strategyAuto, func(*schema.Tuple) { n++ })
+	s.execPlan(&pln, sc, func(*schema.Tuple) { n++ })
 	return n
 }
 
@@ -117,13 +132,27 @@ const (
 	strategyPostings
 )
 
+// queryPlan is one query's resolved access path: either a tuple-range
+// scan ([lo,hi) filtered by rest) or a postings intersection (seed ∩
+// others, gathered survivors filtered by rest). Its slices alias the
+// scratch that built it.
+type queryPlan struct {
+	postings bool
+	lo, hi   int // scan path: tuple range
+	pl       int // scan path: canonical prefix length already applied
+	seed     predPostings
+	others   []predPostings // remaining covered predicates, size-ascending
+	rest     []Pred         // uncovered predicates, filtered at emit
+}
+
 // prefixRange locates the contiguous slice of tuples matching the query's
 // canonical-order prefix of length pl (pl ≥ 1, no broad-match NULLs).
-func (s *Snapshot) prefixRange(q Query, pl int) (lo, hi int) {
-	prefix := make([]uint16, pl)
+func (s *Snapshot) prefixRange(q Query, pl int, sc *queryScratch) (lo, hi int) {
+	prefix := sc.prefix[:0]
 	for i := 0; i < pl; i++ {
-		prefix[i] = q.preds[i].Val
+		prefix = append(prefix, q.preds[i].Val)
 	}
+	sc.prefix = prefix
 	lo = sort.Search(len(s.tuples), func(i int) bool {
 		return schema.CompareVals(s.tuples[i].Vals[:pl], prefix) >= 0
 	})
@@ -133,139 +162,228 @@ func (s *Snapshot) prefixRange(q Query, pl int) (lo, hi int) {
 	return lo, hi
 }
 
-// candidateLists returns the posting lists covering predicate p, or
-// ok=false when the attribute's index is not materialised yet. Under
+// candidatePP returns the candidate posting lists covering predicate p,
+// or ok=false when the attribute's index is not materialised yet. Under
 // broad-match NULL semantics a tuple with NULL in p.Attr also matches, so
 // the NULL list joins the candidate set for nullable attributes.
-func (s *Snapshot) candidateLists(p Pred) (lists [][]*schema.Tuple, size int, ok bool) {
+func (s *Snapshot) candidatePP(p Pred) (pp predPostings, ok bool) {
 	sa := &s.attrs[p.Attr]
 	m := sa.lists
 	if m == nil {
 		if sa.lazy == nil {
-			return nil, 0, false
+			return predPostings{}, false
 		}
 		if m = sa.lazy.loaded(); m == nil {
-			return nil, 0, false
+			return predPostings{}, false
 		}
 	}
-	if l := m[p.Val]; len(l) > 0 {
-		lists = append(lists, l)
-		size += len(l)
-	}
+	pp.val = m[p.Val]
 	if s.broadMatchNull && p.Val != schema.NullCode && s.sch.Attr(p.Attr).Nullable {
-		if l := m[schema.NullCode]; len(l) > 0 {
-			lists = append(lists, l)
-			size += len(l)
-		}
+		pp.null = m[schema.NullCode]
 	}
-	return lists, size, true
+	pp.size = pp.val.size() + pp.null.size()
+	return pp, true
 }
 
-// materialise builds the lazy index for p's attribute and returns its
+// materialisePP builds the lazy index for p's attribute and returns its
 // candidate lists. ok=false on ephemeral snapshots, which carry no lazy
 // builders (they answer exactly one query and are never shared).
-func (s *Snapshot) materialise(p Pred) (lists [][]*schema.Tuple, size int, ok bool) {
+func (s *Snapshot) materialisePP(p Pred) (predPostings, bool) {
 	sa := &s.attrs[p.Attr]
 	if sa.lists == nil {
 		if sa.lazy == nil {
-			return nil, 0, false
+			return predPostings{}, false
 		}
 		sa.lazy.build(p.Attr, s.tuples)
 	}
-	return s.candidateLists(p)
+	return s.candidatePP(p)
 }
 
-// forEachMatching yields every tuple matching q, choosing the cheapest
-// available access path (or the forced one). The set of visited tuples is
-// identical for every strategy; only the visit order may differ.
-func (s *Snapshot) forEachMatching(q Query, strat strategy, fn func(*schema.Tuple)) {
-	if len(q.preds) == 0 {
-		for _, t := range s.tuples {
-			fn(t)
-		}
-		return
-	}
+// plan resolves the access path for q under the given (possibly forced)
+// strategy. The chosen path — and the exact set of tuples it will visit —
+// matches the pre-posting engine decision for decision: prefix ranges are
+// unusable under broad-match NULLs, the smallest candidate set seeds the
+// intersection (earliest predicate wins ties), and a query that would pay
+// a full scan invests that same O(n) in materialising its first
+// predicate's index instead.
+func (s *Snapshot) plan(q Query, strat strategy, sc *queryScratch) queryPlan {
 	n := len(s.tuples)
-
-	// Prefix range (unusable under broad-match NULLs: a NULL tuple may
-	// match a prefix predicate yet sort outside the value's range).
-	pl := 0
-	lo, hi := 0, n
-	if !s.broadMatchNull {
-		pl = q.prefixLen()
-		if pl > 0 {
-			lo, hi = s.prefixRange(q, pl)
-		}
+	pln := queryPlan{hi: n}
+	if len(q.preds) == 0 {
+		return pln
 	}
 
-	scanRange := func() {
-		rest := Query{preds: q.preds[pl:]}
-		for _, t := range s.tuples[lo:hi] {
-			if len(rest.preds) == 0 || rest.Matches(t, s.broadMatchNull) {
-				fn(t)
+	if strat == strategyScan {
+		sc.rest = append(sc.rest[:0], q.preds...)
+		pln.rest = sc.rest
+		return pln
+	}
+
+	if strat == strategyAuto || strat == strategyPrefix {
+		// Prefix range (unusable under broad-match NULLs: a NULL tuple
+		// may match a prefix predicate yet sort outside the value's
+		// range).
+		if !s.broadMatchNull {
+			if pl := q.prefixLen(); pl > 0 {
+				pln.pl = pl
+				pln.lo, pln.hi = s.prefixRange(q, pl, sc)
 			}
 		}
-	}
-	scanLists := func(lists [][]*schema.Tuple) {
-		for _, l := range lists {
-			for _, t := range l {
-				if q.Matches(t, s.broadMatchNull) {
-					fn(t)
-				}
-			}
+		if strat == strategyPrefix {
+			sc.rest = append(sc.rest[:0], q.preds[pln.pl:]...)
+			pln.rest = sc.rest
+			return pln
 		}
 	}
 
-	switch strat {
-	case strategyScan:
-		pl, lo, hi = 0, 0, n
-		scanRange()
-		return
-	case strategyPrefix:
-		scanRange()
-		return
-	case strategyPostings:
-		// Build every predicate's index, then take the smallest.
-		best, bestSize := [][]*schema.Tuple(nil), -1
-		for _, p := range q.preds {
-			lists, size, ok := s.materialise(p)
-			if ok && (bestSize < 0 || size < bestSize) {
-				best, bestSize = lists, size
-			}
-		}
-		if bestSize < 0 { // ephemeral snapshot: no indexes to force
-			pl, lo, hi = 0, 0, n
-			scanRange()
-			return
-		}
-		scanLists(best)
-		return
-	}
-
-	// strategyAuto: smallest-list-first among materialised predicates,
-	// against the prefix range (or full scan) cost.
-	best, bestSize := [][]*schema.Tuple(nil), -1
+	// Split predicates into covered (posting lists available) and rest.
+	// Forced postings materialises every predicate's index, exactly like
+	// the pre-posting engine did.
+	force := strat == strategyPostings
+	covered := sc.preds[:0]
+	rest := sc.rest[:0]
+	bestIdx, bestSize := -1, -1
 	for _, p := range q.preds {
-		if lists, size, ok := s.candidateLists(p); ok && (bestSize < 0 || size < bestSize) {
-			best, bestSize = lists, size
+		var pp predPostings
+		var ok bool
+		if force {
+			pp, ok = s.materialisePP(p)
+		} else {
+			pp, ok = s.candidatePP(p)
 		}
+		if !ok {
+			rest = append(rest, p)
+			continue
+		}
+		if bestSize < 0 || pp.size < bestSize {
+			bestIdx, bestSize = len(covered), pp.size
+		}
+		covered = append(covered, pp)
 	}
-	if bestSize < 0 && hi-lo == n {
+	if !force && bestSize < 0 && pln.hi-pln.lo == n {
 		// No materialised index and no prefix pruning: this query would
 		// pay a full scan. Invest that same O(n) in building the first
 		// predicate's index instead — every later query over the
 		// attribute rides the posting lists, and the demand flag tells
 		// the Store to maintain the index incrementally from the next
 		// version on.
-		if lists, size, ok := s.materialise(q.preds[0]); ok {
-			best, bestSize = lists, size
+		if pp, ok := s.materialisePP(q.preds[0]); ok {
+			covered = append(covered, pp)
+			bestIdx, bestSize = 0, pp.size
+			// rest currently holds every predicate in order; drop the
+			// now-covered first one.
+			copy(rest, rest[1:])
+			rest = rest[:len(rest)-1]
 		}
 	}
-	if bestSize >= 0 && bestSize < hi-lo {
-		scanLists(best)
+	sc.preds, sc.rest = covered, rest
+
+	if bestSize < 0 || (!force && bestSize >= pln.hi-pln.lo) {
+		if force {
+			// Ephemeral snapshot: no indexes to force — full scan.
+			pln.lo, pln.hi, pln.pl = 0, n, 0
+		}
+		sc.rest = append(sc.rest[:0], q.preds[pln.pl:]...)
+		pln.rest = sc.rest
+		return pln
+	}
+
+	// Seed from the smallest candidate set; intersect the remaining
+	// covered predicates in ascending size order (cheapest cut first).
+	covered[0], covered[bestIdx] = covered[bestIdx], covered[0]
+	for i := 2; i < len(covered); i++ {
+		for j := i; j > 1 && covered[j].size < covered[j-1].size; j-- {
+			covered[j], covered[j-1] = covered[j-1], covered[j]
+		}
+	}
+	pln.postings = true
+	pln.seed = covered[0]
+	pln.others = covered[1:]
+	pln.rest = rest
+	return pln
+}
+
+// execPlan enumerates every tuple the plan's access path yields.
+func (s *Snapshot) execPlan(pln *queryPlan, sc *queryScratch, fn func(*schema.Tuple)) {
+	if pln.postings {
+		s.execPostings(pln, sc, fn)
 		return
 	}
-	scanRange()
+	if len(pln.rest) == 0 {
+		for _, t := range s.tuples[pln.lo:pln.hi] {
+			fn(t)
+		}
+		return
+	}
+	broad := s.broadMatchNull
+	for _, t := range s.tuples[pln.lo:pln.hi] {
+		if matchesPreds(t, pln.rest, broad) {
+			fn(t)
+		}
+	}
+}
+
+// execPostings runs the intersection plan: for each container of the seed
+// predicate's candidate lists (value list, then NULL list — disjoint),
+// intersect against every other covered predicate and gather the
+// surviving IDs back to tuples.
+func (s *Snapshot) execPostings(pln *queryPlan, sc *queryScratch, fn func(*schema.Tuple)) {
+	broad := s.broadMatchNull
+	for _, part := range [2]*postingList{pln.seed.val, pln.seed.null} {
+		if part == nil {
+			continue
+		}
+		for ci := range part.cs {
+			c := &part.cs[ci]
+			if len(pln.others) == 0 {
+				if len(pln.rest) == 0 {
+					for _, t := range c.tuples {
+						fn(t)
+					}
+					continue
+				}
+				for _, t := range c.tuples {
+					if matchesPreds(t, pln.rest, broad) {
+						fn(t)
+					}
+				}
+				continue
+			}
+			surv := sc.runIntersect(c, pln.others)
+			if len(surv) > 0 {
+				c.gatherEmit(surv, pln.rest, broad, fn)
+			}
+		}
+	}
+}
+
+// countPostings counts the plan's matches without gathering tuples —
+// valid only when every predicate is covered (rest is empty).
+func (s *Snapshot) countPostings(pln *queryPlan, sc *queryScratch) int {
+	n := 0
+	for _, part := range [2]*postingList{pln.seed.val, pln.seed.null} {
+		if part == nil {
+			continue
+		}
+		if len(pln.others) == 0 {
+			n += part.n
+			continue
+		}
+		for ci := range part.cs {
+			n += len(sc.runIntersect(&part.cs[ci], pln.others))
+		}
+	}
+	return n
+}
+
+// forEachMatching yields every tuple matching q, choosing the cheapest
+// available access path (or the forced one). The set of visited tuples is
+// identical for every strategy; only the visit order may differ.
+func (s *Snapshot) forEachMatching(q Query, strat strategy, fn func(*schema.Tuple)) {
+	sc := getScratch()
+	defer putScratch(sc)
+	pln := s.plan(q, strat, sc)
+	s.execPlan(&pln, sc, fn)
 }
 
 // Answer computes the top-k result for q under the given scorer. It is
@@ -276,81 +394,50 @@ func (s *Snapshot) Answer(q Query, k int, scorer Scorer) Result {
 	return s.answerWith(q, k, scorer, strategyAuto)
 }
 
-// answerWith is Answer with a forced access path (tests only).
+// answerWith is Answer with a forced access path (tests only). Steady
+// state it allocates exactly the returned Result slice; everything else
+// is pooled scratch.
 func (s *Snapshot) answerWith(q Query, k int, scorer Scorer, strat strategy) Result {
-	h := &tupleHeap{}
-	matches := 0
-	s.forEachMatching(q, strat, func(t *schema.Tuple) {
-		matches++
-		sc := scorer(t)
-		if h.Len() < k {
-			heap.Push(h, scored{t: t, s: sc})
-			return
-		}
-		// Replace the current worst if strictly better.
-		if sc > h.scores[0] || (sc == h.scores[0] && t.ID < h.items[0].ID) {
-			h.items[0], h.scores[0] = t, sc
-			heap.Fix(h, 0)
-		}
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.matches = 0
+	pln := s.plan(q, strat, sc)
+	if pln.postings && len(pln.rest) == 0 && scorerIsIDPure(scorer) {
+		sc.idtop.reset()
+		s.scanIDScored(&pln, sc, k)
+		return Result{Tuples: sc.idtop.drain(), Overflow: sc.matches > k}
+	}
+	sc.topk.reset()
+	s.execPlan(&pln, sc, func(t *schema.Tuple) {
+		sc.matches++
+		sc.topk.offer(t, scorer(t), k)
 	})
-	res := Result{Overflow: matches > k}
-	res.Tuples = make([]*schema.Tuple, h.Len())
-	scs := make([]float64, h.Len())
-	copy(res.Tuples, h.items)
-	copy(scs, h.scores)
-	// Rank best-first, deterministic.
-	sort.Sort(&rankSort{tuples: res.Tuples, scores: scs})
-	return res
+	return Result{Tuples: sc.topk.drain(), Overflow: sc.matches > k}
 }
 
-// tupleHeap is a min-heap by (score, ID) keeping the best k tuples seen.
-type tupleHeap struct {
-	items  []*schema.Tuple
-	scores []float64
-}
-
-func (h *tupleHeap) Len() int { return len(h.items) }
-func (h *tupleHeap) Less(i, j int) bool {
-	if h.scores[i] != h.scores[j] {
-		return h.scores[i] < h.scores[j]
+// collectTopK folds s's matches for q into the scratch's running top-k
+// (capacity k) and returns the number of matching tuples. The
+// scatter-gather path calls it once per shard snapshot, accumulating the
+// global top-k across calls on one scratch.
+func (s *Snapshot) collectTopK(q Query, k int, scorer Scorer, sc *queryScratch) int {
+	sc.matches = 0
+	pln := s.plan(q, strategyAuto, sc)
+	if pln.postings && len(pln.rest) == 0 && scorerIsIDPure(scorer) {
+		// Rank this shard's candidates in the ID domain, then fold the
+		// ≤ k retained winners into the cross-shard heap (any global
+		// top-k tuple is in its shard's top-k, so folding the retained
+		// set loses nothing).
+		sc.idtop.reset()
+		s.scanIDScored(&pln, sc, k)
+		h := &sc.idtop
+		for i := range h.ids {
+			sc.topk.offer(h.srcC[i].tuples[h.srcP[i]], h.scores[i], k)
+		}
+		return sc.matches
 	}
-	return h.items[i].ID > h.items[j].ID // worse = larger ID on ties
-}
-func (h *tupleHeap) Swap(i, j int) {
-	h.items[i], h.items[j] = h.items[j], h.items[i]
-	h.scores[i], h.scores[j] = h.scores[j], h.scores[i]
-}
-func (h *tupleHeap) Push(x any) {
-	p := x.(scored)
-	h.items = append(h.items, p.t)
-	h.scores = append(h.scores, p.s)
-}
-func (h *tupleHeap) Pop() any {
-	n := len(h.items) - 1
-	p := scored{t: h.items[n], s: h.scores[n]}
-	h.items = h.items[:n]
-	h.scores = h.scores[:n]
-	return p
-}
-
-type scored struct {
-	t *schema.Tuple
-	s float64
-}
-
-type rankSort struct {
-	tuples []*schema.Tuple
-	scores []float64
-}
-
-func (r *rankSort) Len() int { return len(r.tuples) }
-func (r *rankSort) Less(i, j int) bool {
-	if r.scores[i] != r.scores[j] {
-		return r.scores[i] > r.scores[j]
-	}
-	return r.tuples[i].ID < r.tuples[j].ID
-}
-func (r *rankSort) Swap(i, j int) {
-	r.tuples[i], r.tuples[j] = r.tuples[j], r.tuples[i]
-	r.scores[i], r.scores[j] = r.scores[j], r.scores[i]
+	s.execPlan(&pln, sc, func(t *schema.Tuple) {
+		sc.matches++
+		sc.topk.offer(t, scorer(t), k)
+	})
+	return sc.matches
 }

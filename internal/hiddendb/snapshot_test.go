@@ -255,13 +255,31 @@ func TestIncrementalIndexMatchesRebuild(t *testing.T) {
 			}
 			for v, wl := range want.lists {
 				gl := ai.lists[v]
-				if len(gl) != len(wl) {
-					t.Fatalf("step %d attr %d val %d: len %d, want %d", step, a, v, len(gl), len(wl))
+				if err := gl.validate(); err != nil {
+					t.Fatalf("step %d attr %d val %d: invalid posting list: %v", step, a, v, err)
 				}
-				for i := range wl {
-					if gl[i] != wl[i] {
+				// Container form must match the rebuild exactly (form is a
+				// pure function of container cardinality).
+				if len(gl.cs) != len(wl.cs) {
+					t.Fatalf("step %d attr %d val %d: %d containers, want %d",
+						step, a, v, len(gl.cs), len(wl.cs))
+				}
+				for ci := range wl.cs {
+					gc, wc := &gl.cs[ci], &wl.cs[ci]
+					if gc.key != wc.key || gc.count() != wc.count() || (gc.bits != nil) != (wc.bits != nil) {
+						t.Fatalf("step %d attr %d val %d container %d: key=%d n=%d bitmap=%v, want key=%d n=%d bitmap=%v",
+							step, a, v, ci, gc.key, gc.count(), gc.bits != nil, wc.key, wc.count(), wc.bits != nil)
+					}
+				}
+				got := gl.appendTuples(nil)
+				exp := wl.appendTuples(nil)
+				if len(got) != len(exp) {
+					t.Fatalf("step %d attr %d val %d: len %d, want %d", step, a, v, len(got), len(exp))
+				}
+				for i := range exp {
+					if got[i] != exp[i] {
 						t.Fatalf("step %d attr %d val %d pos %d: tuple %d, want %d",
-							step, a, v, i, gl[i].ID, wl[i].ID)
+							step, a, v, i, got[i].ID, exp[i].ID)
 					}
 				}
 			}

@@ -50,12 +50,13 @@ type Store struct {
 	eph         *Snapshot
 }
 
-// attrIndex is one attribute's posting lists, each sorted by tuple ID so
-// incremental maintenance is a binary search away. After publication in a
-// snapshot the map (and every list) is shared and must be copied before
-// the next mutation touches it.
+// attrIndex is one attribute's posting lists — roaring-style container
+// sequences keyed by value (posting.go) — maintained incrementally in
+// tuple-ID order. After publication in a snapshot the map (and every
+// list) is shared and must be copied before the next mutation touches
+// it; list copies are lazy per container (pcontainer.ensureOwned).
 type attrIndex struct {
-	lists  map[uint16][]*schema.Tuple
+	lists  map[uint16]*postingList
 	shared bool            // whole map referenced by a snapshot
 	owned  map[uint16]bool // per-list ownership after the map was re-cloned; nil ⇒ all owned
 }
@@ -401,16 +402,18 @@ func (st *Store) ApplyBatch(inserts []*schema.Tuple, deleteIDs []uint64) error {
 // Incremental posting-list maintenance
 // ---------------------------------------------------------------------
 
-// buildAttrIndex materialises one attribute's posting lists (ID-sorted)
-// from the sorted tuple slice.
+// buildAttrIndex materialises one attribute's posting lists (ID-sorted
+// container sequences) from the sorted tuple slice.
 func buildAttrIndex(tuples []*schema.Tuple, attr int) *attrIndex {
-	lists := make(map[uint16][]*schema.Tuple)
+	byVal := make(map[uint16][]*schema.Tuple)
 	for _, t := range tuples {
 		v := t.Vals[attr]
-		lists[v] = append(lists[v], t)
+		byVal[v] = append(byVal[v], t)
 	}
-	for _, l := range lists {
-		sort.Slice(l, func(i, j int) bool { return l[i].ID < l[j].ID })
+	lists := make(map[uint16]*postingList, len(byVal))
+	for v, l := range byVal {
+		sortTuplesByID(l)
+		lists[v] = buildPostingList(l)
 	}
 	return &attrIndex{lists: lists}
 }
@@ -418,7 +421,7 @@ func buildAttrIndex(tuples []*schema.Tuple, attr int) *attrIndex {
 // ensureMapOwned re-clones the map headers if a snapshot holds the map.
 func (ai *attrIndex) ensureMapOwned() {
 	if ai.shared {
-		m := make(map[uint16][]*schema.Tuple, len(ai.lists))
+		m := make(map[uint16]*postingList, len(ai.lists))
 		for v, l := range ai.lists {
 			m[v] = l
 		}
@@ -428,55 +431,56 @@ func (ai *attrIndex) ensureMapOwned() {
 	}
 }
 
-// mutable returns the list for val, copied first if a snapshot shares it.
-func (ai *attrIndex) mutable(val uint16) []*schema.Tuple {
+// mutable returns the list for val, cloned first if a snapshot shares it
+// (the clone marks every container copy-on-write; containers deep-copy
+// individually on first touch). A missing value gets a fresh empty list.
+func (ai *attrIndex) mutable(val uint16) *postingList {
 	ai.ensureMapOwned()
-	l := ai.lists[val]
+	pl := ai.lists[val]
+	if pl == nil {
+		pl = &postingList{}
+		ai.lists[val] = pl
+		if ai.owned != nil {
+			ai.owned[val] = true
+		}
+		return pl
+	}
 	if ai.owned != nil && !ai.owned[val] {
-		l = append([]*schema.Tuple(nil), l...)
-		ai.lists[val] = l
+		pl = pl.clone()
+		ai.lists[val] = pl
 		ai.owned[val] = true
 	}
-	return l
+	return pl
+}
+
+// removeID deletes one posting, dropping the value's entry when it was
+// the last (no empty lists survive in the map).
+func (ai *attrIndex) removeID(val uint16, id uint64) {
+	pl := ai.mutable(val)
+	pl.remove(id)
+	if pl.n == 0 {
+		delete(ai.lists, val)
+		if ai.owned != nil {
+			delete(ai.owned, val)
+		}
+	}
 }
 
 // setList installs a freshly built list for val (owned by construction).
-func (ai *attrIndex) setList(val uint16, l []*schema.Tuple) {
+// nil or empty deletes the entry.
+func (ai *attrIndex) setList(val uint16, pl *postingList) {
 	ai.ensureMapOwned()
-	if len(l) == 0 {
+	if pl.size() == 0 {
 		delete(ai.lists, val)
 		if ai.owned != nil {
 			delete(ai.owned, val)
 		}
 		return
 	}
-	ai.lists[val] = l
+	ai.lists[val] = pl
 	if ai.owned != nil {
 		ai.owned[val] = true
 	}
-}
-
-// idPos returns the index of id in the ID-sorted list (must be present).
-func idPos(l []*schema.Tuple, id uint64) int {
-	pos := sort.Search(len(l), func(i int) bool { return l[i].ID >= id })
-	if pos >= len(l) || l[pos].ID != id {
-		panic(fmt.Sprintf("hiddendb: posting list out of sync for tuple %d", id))
-	}
-	return pos
-}
-
-func insertByID(l []*schema.Tuple, t *schema.Tuple) []*schema.Tuple {
-	pos := sort.Search(len(l), func(i int) bool { return l[i].ID >= t.ID })
-	l = append(l, nil)
-	copy(l[pos+1:], l[pos:])
-	l[pos] = t
-	return l
-}
-
-func removeByID(l []*schema.Tuple, id uint64) []*schema.Tuple {
-	pos := idPos(l, id)
-	copy(l[pos:], l[pos+1:])
-	return l[:len(l)-1]
 }
 
 func (st *Store) indexInsert(t *schema.Tuple) {
@@ -484,8 +488,7 @@ func (st *Store) indexInsert(t *schema.Tuple) {
 		if ai == nil {
 			continue
 		}
-		v := t.Vals[a]
-		ai.setList(v, insertByID(ai.mutable(v), t))
+		ai.mutable(t.Vals[a]).insert(t)
 	}
 }
 
@@ -494,8 +497,7 @@ func (st *Store) indexDelete(t *schema.Tuple) {
 		if ai == nil {
 			continue
 		}
-		v := t.Vals[a]
-		ai.setList(v, removeByID(ai.mutable(v), t.ID))
+		ai.removeID(t.Vals[a], t.ID)
 	}
 }
 
@@ -506,13 +508,12 @@ func (st *Store) indexReplace(old, repl *schema.Tuple) {
 		}
 		ov, nv := old.Vals[a], repl.Vals[a]
 		if ov == nv {
-			// Same list, same ID position: swap the pointer in place.
-			l := ai.mutable(ov)
-			l[idPos(l, old.ID)] = repl
+			// Same list, same ID: swap the payload pointer in place.
+			ai.mutable(ov).swapTuple(old.ID, repl)
 			continue
 		}
-		ai.setList(ov, removeByID(ai.mutable(ov), old.ID))
-		ai.setList(nv, insertByID(ai.mutable(nv), repl))
+		ai.removeID(ov, old.ID)
+		ai.mutable(nv).insert(repl)
 	}
 }
 
@@ -555,9 +556,21 @@ func (st *Store) indexApplyBatch(ins, delTuples []*schema.Tuple) {
 		for v := range touched {
 			add := adds[v]
 			sort.Slice(add, func(i, j int) bool { return add[i].ID < add[j].ID })
-			ai.setList(v, mergeByID(ai.lists[v], add, rems[v]))
+			ai.setList(v, rebuildList(ai.lists[v], add, rems[v]))
 		}
 	}
+}
+
+// rebuildList re-derives one value's posting list from its current
+// contents plus a batch's ID-sorted additions and removals. The merged
+// payload slice is freshly built, so the new containers alias it safely.
+func rebuildList(old *postingList, add []*schema.Tuple, rem map[uint64]bool) *postingList {
+	base := old.appendTuples(make([]*schema.Tuple, 0, old.size()))
+	merged := mergeByID(base, add, rem)
+	if len(merged) == 0 {
+		return nil
+	}
+	return buildPostingList(merged)
 }
 
 // mergeByID merges an ID-sorted list with ID-sorted additions, dropping
