@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-serving bench-smoke fmt fmt-check vet ci
+.PHONY: build test race bench bench-serving bench-load bench-smoke fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -46,10 +46,12 @@ bench:
 # snapshot answering, query-key encoding, concurrent sessions, the
 # estimator executor's sequential-vs-concurrent drill-down issuance,
 # sharded scatter-gather serving at shards=1/4/16 under mutation load,
-# and the fleet scheduler tick at tasks=1 vs tasks=8 on one shared
-# remote) and emits machine-readable results to BENCH_serving.json; CI
-# archives the file as an artifact, seeding the repo's perf trajectory.
-SERVING_BENCH := BenchmarkSnapshotPrefixQuery|BenchmarkSnapshotNonPrefix|BenchmarkQueryKey|BenchmarkServingConcurrent|BenchmarkConcurrentSessions|BenchmarkEstimatorExec|BenchmarkFleetScheduler
+# the fleet scheduler tick at tasks=1 vs tasks=8 on one shared remote,
+# the bitmap AND kernel scalar-vs-unrolled pair and the HTTP handler's
+# legacy-vs-fastpath pair) and emits machine-readable results to
+# BENCH_serving.json; CI archives the file as an artifact, seeding the
+# repo's perf trajectory.
+SERVING_BENCH := BenchmarkSnapshotPrefixQuery|BenchmarkSnapshotNonPrefix|BenchmarkQueryKey|BenchmarkServingConcurrent|BenchmarkConcurrentSessions|BenchmarkEstimatorExec|BenchmarkFleetScheduler|BenchmarkBitmapAND|BenchmarkHandlerSearch
 BENCHTIME ?= 1s
 # BenchmarkServingConcurrent races a free-running mutator goroutine, so
 # its per-op cost depends on wall-clock interleaving: time-based
@@ -62,10 +64,22 @@ CHURN_BENCHTIME ?= 2000x
 # target instead of being masked by the converter's exit status.
 bench-serving:
 	$(GO) test -run '^$$' -bench '$(SERVING_BENCH)' -benchmem -benchtime $(BENCHTIME) \
-		./internal/hiddendb/ ./internal/experiments/ ./internal/estimator/ ./internal/fleet/ > BENCH_serving.out
+		./internal/hiddendb/ ./internal/experiments/ ./internal/estimator/ ./internal/fleet/ ./webiface/ > BENCH_serving.out
 	$(GO) test -run '^$$' -bench 'BenchmarkServingConcurrent' -benchmem -benchtime $(CHURN_BENCHTIME) \
 		. >> BENCH_serving.out
 	$(GO) run ./cmd/dynagg-benchjson -out BENCH_serving.json < BENCH_serving.out
+
+# bench-load fires the ReqBench-style HTTP load harness at an in-process
+# server: a cache-cold pass (every request a fresh query) and a
+# cache-hot pass (Zipf-skewed repeats over a small universe), recording
+# p50/p95/p99, throughput and error/429 rates plus the cold/hot p50
+# ratio to BENCH_load.json. CI archives the file and logs the ratio as a
+# soft fast-path signal. Tune with LOADGEN_FLAGS.
+LOAD_DURATION ?= 5s
+LOADGEN_FLAGS ?=
+bench-load:
+	$(GO) run ./cmd/dynagg-loadgen -selfserve -compare -duration $(LOAD_DURATION) \
+		-warmup 1s -clients 16 -queries 64 -zipf 1.2 $(LOADGEN_FLAGS) -out BENCH_load.json
 
 # bench-smoke runs every benchmark exactly once so bench_test.go cannot
 # silently rot (no timing value, compile+run coverage only).

@@ -88,8 +88,9 @@ func main() {
 	}
 	iface := dynagg.NewIface(env.Store, *localK, nil)
 	local := fleet.Target{
-		Schema: iface.Schema(),
-		Source: func(g int) tracking.Session { return iface.NewSession(g) },
+		Schema:           iface.Schema(),
+		Source:           func(g int) tracking.Session { return iface.NewSession(g) },
+		AnswerCacheStats: iface.CacheStats,
 		PreTick: func(tick int) error {
 			if tick == 1 {
 				return nil

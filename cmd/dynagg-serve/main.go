@@ -5,10 +5,11 @@
 //
 // It is the serving half of the paper's live-experiment setting: point
 // estimators (dynagg.NewRemoteTracker, examples/remote) at it, or load
-// test it — reads are answered from immutable snapshots, so the churn
-// goroutine never blocks a client. Serving diagnostics are exposed at
-// /stats (JSON) and /metrics (Prometheus-style plaintext: query counts,
-// store version, per-key budget accounting).
+// test it (cmd/dynagg-loadgen) — reads are answered from immutable
+// snapshots, so the churn goroutine never blocks a client. Serving
+// diagnostics are exposed at /v1/stats (JSON) and /v1/metrics
+// (Prometheus-style plaintext: query counts, store version, per-key
+// budget accounting, answer-cache hit/miss/singleflight counters).
 //
 // With -shards N the store is hash-partitioned N ways: each round's
 // churn is applied by one mutator goroutine per shard, a new version

@@ -121,6 +121,7 @@ func main() {
 			log.Printf("churn: |D|=%d version=%d", env.Store.Size(), env.Store.Version())
 			return nil
 		}
+		cfg.AnswerCacheStats = iface.CacheStats
 		svc, err = tracking.New(iface.Schema(),
 			func(g int) tracking.Session { return iface.NewSession(g) }, cfg)
 	}

@@ -50,6 +50,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/dynagg/dynagg/internal/hiddendb"
 	"github.com/dynagg/dynagg/internal/metrics"
 	"github.com/dynagg/dynagg/internal/schema"
 	"github.com/dynagg/dynagg/internal/tracking"
@@ -67,6 +68,10 @@ type Target struct {
 	// before any task steps — never once per task, so N tasks on one
 	// target see one database evolution.
 	PreTick func(tick int) error
+	// AnswerCacheStats, when set, reports the target interface's
+	// answer-cache counters for /v1/metrics (local targets pass the
+	// Iface's CacheStats method; remote targets leave it nil).
+	AnswerCacheStats func() hiddendb.CacheStats
 }
 
 // Config tunes a Manager.

@@ -4,13 +4,15 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"sort"
 
 	"github.com/dynagg/dynagg/internal/httpapi"
 	"github.com/dynagg/dynagg/internal/metrics"
 )
 
 // Handler exposes the fleet control plane, mounted under the current API
-// version (plus deprecated unversioned aliases for one release):
+// version (the deprecated unversioned aliases were removed; legacy
+// paths get the 404 envelope):
 //
 //	GET    /v1/status              → fleet Status (ticks, budgets, per-task rows)
 //	GET    /v1/healthz             → 200 once a tick completed, 503 before;
@@ -30,10 +32,10 @@ import (
 func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
 	handle := func(method, pattern string, h http.HandlerFunc) {
-		// Register each route under /v1 and, for one deprecated
-		// release, at its legacy unversioned path.
+		// Versioned routes only: the deprecated unversioned aliases
+		// were removed after their one-release grace period, so legacy
+		// paths fall through to the 404 envelope.
 		mux.HandleFunc(method+" /"+httpapi.Version+pattern, h)
-		mux.HandleFunc(method+" "+pattern, h)
 	}
 	handle("GET", "/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Status())
@@ -163,6 +165,31 @@ func (m *Manager) serveMetrics(w http.ResponseWriter) {
 			if e.OK {
 				b.Value("dynagg_fleet_task_estimate", e.Value, "task", t.ID, "aggregate", e.Aggregate)
 			}
+		}
+	}
+
+	// Answer-cache counters per local target (remote targets have no
+	// hook — their cache is scraped on the serving side). Target names
+	// are emitted in sorted order so scrapes are diffable.
+	names := make([]string, 0, len(m.cfg.Targets))
+	for name, tgt := range m.cfg.Targets {
+		if tgt.AnswerCacheStats != nil {
+			names = append(names, name)
+		}
+	}
+	if len(names) > 0 {
+		sort.Strings(names)
+		b.Family("dynagg_fleet_target_answer_cache_hits_total", "counter", "Answer-cache hits per local target interface.")
+		for _, name := range names {
+			b.Value("dynagg_fleet_target_answer_cache_hits_total", float64(m.cfg.Targets[name].AnswerCacheStats().Hits), "target", name)
+		}
+		b.Family("dynagg_fleet_target_answer_cache_misses_total", "counter", "Answer-cache misses (engine executions) per local target interface.")
+		for _, name := range names {
+			b.Value("dynagg_fleet_target_answer_cache_misses_total", float64(m.cfg.Targets[name].AnswerCacheStats().Misses), "target", name)
+		}
+		b.Family("dynagg_fleet_target_answer_cache_collapsed_total", "counter", "Singleflight-collapsed queries per local target interface.")
+		for _, name := range names {
+			b.Value("dynagg_fleet_target_answer_cache_collapsed_total", float64(m.cfg.Targets[name].AnswerCacheStats().Collapsed), "target", name)
 		}
 	}
 	w.Header().Set("Content-Type", metrics.ContentType)

@@ -52,31 +52,31 @@ func TestControlPlaneLifecycle(t *testing.T) {
 	mgr, srv := controlPlane(t)
 
 	// Before any tick: not ready.
-	resp, _ := do(t, "GET", srv.URL+"/healthz", nil)
+	resp, _ := do(t, "GET", srv.URL+"/v1/healthz", nil)
 	if resp.StatusCode != 503 {
 		t.Fatalf("healthz before first tick: %d", resp.StatusCode)
 	}
 
 	// Create a task over the wire.
-	resp, raw := do(t, "POST", srv.URL+"/tasks", TaskSpec{
+	resp, raw := do(t, "POST", srv.URL+"/v1/tasks", TaskSpec{
 		ID: "wire", Target: "db-a", Algorithm: "REISSUE", Seed: 99,
 		Aggregates: []AggregateSpec{{Kind: "AVG", AuxField: 0, Name: "AVG(price)"}},
 	})
 	if resp.StatusCode != 201 {
 		t.Fatalf("POST /tasks: %d %s", resp.StatusCode, raw)
 	}
-	resp, _ = do(t, "POST", srv.URL+"/tasks", TaskSpec{ID: "wire", Target: "db-a"})
+	resp, _ = do(t, "POST", srv.URL+"/v1/tasks", TaskSpec{ID: "wire", Target: "db-a"})
 	if resp.StatusCode != 409 {
 		t.Fatalf("duplicate POST: %d, want 409", resp.StatusCode)
 	}
-	resp, raw = do(t, "POST", srv.URL+"/tasks", TaskSpec{ID: "bad id!", Target: "db-a"})
+	resp, raw = do(t, "POST", srv.URL+"/v1/tasks", TaskSpec{ID: "bad id!", Target: "db-a"})
 	if resp.StatusCode != 400 {
 		t.Fatalf("invalid POST: %d %s, want 400", resp.StatusCode, raw)
 	}
 
 	mgr.TickOnce()
 
-	resp, raw = do(t, "GET", srv.URL+"/status", nil)
+	resp, raw = do(t, "GET", srv.URL+"/v1/status", nil)
 	var st Status
 	if err := json.Unmarshal(raw, &st); err != nil {
 		t.Fatalf("status decode: %v (%s)", err, raw)
@@ -88,17 +88,17 @@ func TestControlPlaneLifecycle(t *testing.T) {
 		t.Fatalf("task did not advance: %+v", st.Tasks[0])
 	}
 
-	resp, raw = do(t, "GET", srv.URL+"/tasks/wire/estimates", nil)
+	resp, raw = do(t, "GET", srv.URL+"/v1/tasks/wire/estimates", nil)
 	if resp.StatusCode != 200 || !strings.Contains(string(raw), "AVG(price)") {
 		t.Fatalf("estimates: %d %s", resp.StatusCode, raw)
 	}
 
-	resp, _ = do(t, "POST", srv.URL+"/tasks/wire/pause", nil)
+	resp, _ = do(t, "POST", srv.URL+"/v1/tasks/wire/pause", nil)
 	if resp.StatusCode != 200 {
 		t.Fatalf("pause: %d", resp.StatusCode)
 	}
 	mgr.TickOnce()
-	resp, raw = do(t, "GET", srv.URL+"/tasks/wire", nil)
+	resp, raw = do(t, "GET", srv.URL+"/v1/tasks/wire", nil)
 	var ts TaskStatus
 	if err := json.Unmarshal(raw, &ts); err != nil {
 		t.Fatal(err)
@@ -106,12 +106,12 @@ func TestControlPlaneLifecycle(t *testing.T) {
 	if !ts.Paused || ts.View.Round != 1 {
 		t.Fatalf("paused task stepped: %+v", ts)
 	}
-	resp, _ = do(t, "POST", srv.URL+"/tasks/wire/resume", nil)
+	resp, _ = do(t, "POST", srv.URL+"/v1/tasks/wire/resume", nil)
 	if resp.StatusCode != 200 {
 		t.Fatalf("resume: %d", resp.StatusCode)
 	}
 
-	resp, raw = do(t, "GET", srv.URL+"/metrics", nil)
+	resp, raw = do(t, "GET", srv.URL+"/v1/metrics", nil)
 	body := string(raw)
 	if resp.StatusCode != 200 ||
 		!strings.Contains(body, "dynagg_fleet_ticks_total 2") ||
@@ -120,20 +120,20 @@ func TestControlPlaneLifecycle(t *testing.T) {
 		t.Fatalf("metrics:\n%s", body)
 	}
 
-	resp, _ = do(t, "DELETE", srv.URL+"/tasks/wire", nil)
+	resp, _ = do(t, "DELETE", srv.URL+"/v1/tasks/wire", nil)
 	if resp.StatusCode != 200 {
 		t.Fatalf("delete: %d", resp.StatusCode)
 	}
-	resp, _ = do(t, "GET", srv.URL+"/tasks/wire", nil)
+	resp, _ = do(t, "GET", srv.URL+"/v1/tasks/wire", nil)
 	if resp.StatusCode != 404 {
 		t.Fatalf("deleted task still served: %d", resp.StatusCode)
 	}
-	resp, _ = do(t, "DELETE", srv.URL+"/tasks/wire", nil)
+	resp, _ = do(t, "DELETE", srv.URL+"/v1/tasks/wire", nil)
 	if resp.StatusCode != 404 {
 		t.Fatalf("double delete: %d", resp.StatusCode)
 	}
 
-	resp, _ = do(t, "GET", srv.URL+"/healthz", nil)
+	resp, _ = do(t, "GET", srv.URL+"/v1/healthz", nil)
 	if resp.StatusCode != 200 {
 		t.Fatalf("healthz after ticks: %d", resp.StatusCode)
 	}
@@ -172,16 +172,16 @@ func TestControlPlaneConcurrentWithScheduler(t *testing.T) {
 				case c == 0:
 					// One writer churns the task table over the wire.
 					id := fmt.Sprintf("churn%d", i)
-					r, _ := do(t, "POST", srv.URL+"/tasks", TaskSpec{ID: id, Target: "db-a"})
+					r, _ := do(t, "POST", srv.URL+"/v1/tasks", TaskSpec{ID: id, Target: "db-a"})
 					if r.StatusCode != 201 {
 						t.Errorf("POST %s: %d", id, r.StatusCode)
 						return
 					}
-					do(t, "POST", srv.URL+"/tasks/"+id+"/pause", nil)
-					do(t, "POST", srv.URL+"/tasks/"+id+"/resume", nil)
-					do(t, "DELETE", srv.URL+"/tasks/"+id, nil)
+					do(t, "POST", srv.URL+"/v1/tasks/"+id+"/pause", nil)
+					do(t, "POST", srv.URL+"/v1/tasks/"+id+"/resume", nil)
+					do(t, "DELETE", srv.URL+"/v1/tasks/"+id, nil)
 				default:
-					resp, _ := do(t, "GET", srv.URL+paths[c%len(paths)], nil)
+					resp, _ := do(t, "GET", srv.URL+"/v1"+paths[c%len(paths)], nil)
 					if resp.StatusCode >= 500 {
 						t.Errorf("GET %s: %d", paths[c%len(paths)], resp.StatusCode)
 						return

@@ -64,6 +64,7 @@ type Iface struct {
 	scorer  Scorer
 	queries atomic.Uint64 // lifetime query count across all sessions
 	cache   atomic.Pointer[answerCache]
+	stats   cacheStats
 }
 
 // cacheShardCount shards the per-version answer cache to keep concurrent
@@ -79,28 +80,24 @@ type answerCache struct {
 	shards  [cacheShardCount]cacheShard
 }
 
-// cacheShard lazily allocates its map: versions churn on every mutation
+// cacheShard lazily allocates its maps: versions churn on every mutation
 // in the constant-update model, and most shards of most versions are
-// never touched.
+// never touched. m holds published answers; inflight holds one flight
+// per key currently being computed (singleflight, see answer.go).
 type cacheShard struct {
-	mu sync.RWMutex
-	m  map[string]Result
+	mu       sync.RWMutex
+	m        map[string]*Answer
+	inflight map[string]*flight
 }
 
-func (sh *cacheShard) get(key string) (Result, bool) {
+// get probes the published answers by raw key bytes — the serving fast
+// path calls it with a scratch-built key and never materializes the
+// string (the map lookup conversion does not allocate).
+func (sh *cacheShard) get(key []byte) (*Answer, bool) {
 	sh.mu.RLock()
-	r, ok := sh.m[key]
+	a, ok := sh.m[string(key)]
 	sh.mu.RUnlock()
-	return r, ok
-}
-
-func (sh *cacheShard) put(key string, r Result) {
-	sh.mu.Lock()
-	if sh.m == nil {
-		sh.m = make(map[string]Result)
-	}
-	sh.m[key] = r
-	sh.mu.Unlock()
+	return a, ok
 }
 
 func newAnswerCache(version uint64) *answerCache {
@@ -109,6 +106,12 @@ func newAnswerCache(version uint64) *answerCache {
 
 func (c *answerCache) shard(key string) *cacheShard {
 	return &c.shards[maphash.String(cacheSeed, key)&(cacheShardCount-1)]
+}
+
+// shardBytes is shard for a key still in scratch bytes; maphash.Bytes
+// hashes identically to maphash.String over the same content.
+func (c *answerCache) shardBytes(key []byte) *cacheShard {
+	return &c.shards[maphash.Bytes(cacheSeed, key)&(cacheShardCount-1)]
 }
 
 // NewIface creates a top-k view of the store. scorer may be nil for the
@@ -168,26 +171,40 @@ func (f *Iface) cacheFor(version uint64) *answerCache {
 // workloads (many queries per frozen version) run lock-free on the
 // published snapshot after the first two queries.
 func (f *Iface) Search(q Query) (Result, error) {
+	return f.searchAnswer(q).res, nil
+}
+
+// SearchAnswer is Search returning the shared cached *Answer, so the
+// serving layer can memoize the wire encoding next to the Result
+// (answer.go). Uncached paths (the ephemeral first query of a version)
+// return a fresh Answer whose wire slot still memoizes within the
+// request that holds it.
+func (f *Iface) SearchAnswer(q Query) (*Answer, error) {
+	return f.searchAnswer(q), nil
+}
+
+func (f *Iface) searchAnswer(q Query) *Answer {
 	f.queries.Add(1)
 	if s := f.st.snap.Load(); s != nil && s.version == f.st.version.Load() {
-		return f.searchSnapshot(s, q), nil
+		return f.answerSnapshot(s, q)
 	}
 	f.st.snapMu.Lock()
 	v := f.st.version.Load()
 	if s := f.st.snap.Load(); s != nil && s.version == v {
 		f.st.snapMu.Unlock()
-		return f.searchSnapshot(s, q), nil
+		return f.answerSnapshot(s, q)
 	}
 	if f.st.lastQueried == v {
 		// Second query at this version: it is worth freezing.
 		s := f.st.publishLocked()
 		f.st.snapMu.Unlock()
-		return f.searchSnapshot(s, q), nil
+		return f.answerSnapshot(s, q)
 	}
 	f.st.lastQueried = v
 	r := f.st.ephemeralLocked().Answer(q, f.k, f.scorer)
 	f.st.snapMu.Unlock()
-	return r, nil
+	f.stats.misses.Add(1)
+	return &Answer{res: r}
 }
 
 // SearchBatch answers many queries against ONE snapshot pin: the whole
@@ -202,23 +219,64 @@ func (f *Iface) SearchBatch(qs []Query) []Result {
 	f.queries.Add(uint64(len(qs)))
 	s := f.st.Snapshot()
 	for i, q := range qs {
-		out[i] = f.searchSnapshot(s, q)
+		out[i] = f.answerSnapshot(s, q).res
 	}
 	return out
 }
 
-// searchSnapshot answers q on a published snapshot through the sharded
-// per-version cache.
-func (f *Iface) searchSnapshot(snap *Snapshot, q Query) Result {
+// SearchBatchAnswer is SearchBatch returning the shared cached Answers —
+// the batched wire path serves pre-encoded bodies through them. Same
+// single-snapshot pin, same byte-identical results.
+func (f *Iface) SearchBatchAnswer(qs []Query) []*Answer {
+	out := make([]*Answer, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	f.queries.Add(uint64(len(qs)))
+	s := f.st.Snapshot()
+	for i, q := range qs {
+		out[i] = f.answerSnapshot(s, q)
+	}
+	return out
+}
+
+// LookupAnswer is the serving fast path: probe the current version's
+// cache with an already-encoded key (Query.AppendKey bytes) without
+// constructing a Query. A hit counts as one answered query; a miss
+// counts nothing — the caller falls back to SearchAnswer, which does its
+// own accounting. It only hits when the store has a current published
+// snapshot AND the cache already holds the key, so it can never observe
+// a version the full path would not.
+func (f *Iface) LookupAnswer(key []byte) (*Answer, bool) {
+	s := f.st.snap.Load()
+	if s == nil || s.version != f.st.version.Load() {
+		return nil, false
+	}
+	c := f.cache.Load()
+	if c == nil || c.version != s.version {
+		return nil, false
+	}
+	a, ok := c.shardBytes(key).get(key)
+	if !ok {
+		return nil, false
+	}
+	f.queries.Add(1)
+	f.stats.hits.Add(1)
+	return a, true
+}
+
+// CacheStats returns the lifetime answer-cache counters.
+func (f *Iface) CacheStats() CacheStats { return f.stats.read() }
+
+// answerSnapshot answers q on a published snapshot through the sharded
+// per-version cache, collapsing concurrent identical queries into one
+// engine execution (answer.go).
+func (f *Iface) answerSnapshot(snap *Snapshot, q Query) *Answer {
 	c := f.cacheFor(snap.Version())
 	key := q.Key()
-	sh := c.shard(key)
-	if r, ok := sh.get(key); ok {
-		return r
-	}
-	r := snap.Answer(q, f.k, f.scorer)
-	sh.put(key, r)
-	return r
+	return c.shard(key).do(key, &f.stats, func() Result {
+		return snap.Answer(q, f.k, f.scorer)
+	})
 }
 
 // BudgetCounter is the atomic claim-before-issue accounting of a round's

@@ -113,8 +113,69 @@ func probeBitmap(a []uint16, b *idBitmap, dst []uint16) []uint16 {
 	return dst
 }
 
-// andBitmaps appends the sorted set bits of a AND b.
+// andBitmaps appends the sorted set bits of a AND b. The word loop is
+// unrolled 8 wide (SIMD-width on a 512-bit vector unit; the compiler
+// keeps the 8 ANDs in registers and the block OR gives one branch per
+// 512 bits instead of one per word): intersections are sparse in
+// practice, so most 8-word blocks are all-zero and skip straight past
+// the extraction loop. Extraction order is unchanged — output is the
+// same sorted sequence the scalar loop (andBitmapsScalar) produces.
 func andBitmaps(a, b *idBitmap, dst []uint16) []uint16 {
+	for w := 0; w < bitmapWords; w += 8 {
+		m0 := a[w] & b[w]
+		m1 := a[w+1] & b[w+1]
+		m2 := a[w+2] & b[w+2]
+		m3 := a[w+3] & b[w+3]
+		m4 := a[w+4] & b[w+4]
+		m5 := a[w+5] & b[w+5]
+		m6 := a[w+6] & b[w+6]
+		m7 := a[w+7] & b[w+7]
+		if m0|m1|m2|m3|m4|m5|m6|m7 == 0 {
+			continue
+		}
+		// Occupied block: straight-line extraction keeps the eight masks
+		// in registers (no spill, no per-word call).
+		base := uint16(w << 6)
+		for m0 != 0 {
+			dst = append(dst, base|uint16(bits.TrailingZeros64(m0)))
+			m0 &= m0 - 1
+		}
+		for m1 != 0 {
+			dst = append(dst, (base+64)|uint16(bits.TrailingZeros64(m1)))
+			m1 &= m1 - 1
+		}
+		for m2 != 0 {
+			dst = append(dst, (base+128)|uint16(bits.TrailingZeros64(m2)))
+			m2 &= m2 - 1
+		}
+		for m3 != 0 {
+			dst = append(dst, (base+192)|uint16(bits.TrailingZeros64(m3)))
+			m3 &= m3 - 1
+		}
+		for m4 != 0 {
+			dst = append(dst, (base+256)|uint16(bits.TrailingZeros64(m4)))
+			m4 &= m4 - 1
+		}
+		for m5 != 0 {
+			dst = append(dst, (base+320)|uint16(bits.TrailingZeros64(m5)))
+			m5 &= m5 - 1
+		}
+		for m6 != 0 {
+			dst = append(dst, (base+384)|uint16(bits.TrailingZeros64(m6)))
+			m6 &= m6 - 1
+		}
+		for m7 != 0 {
+			dst = append(dst, (base+448)|uint16(bits.TrailingZeros64(m7)))
+			m7 &= m7 - 1
+		}
+	}
+	return dst
+}
+
+// andBitmapsScalar is the pre-unroll word-at-a-time kernel, kept as the
+// equivalence reference for the fuzz test and the "before" half of
+// BenchmarkBitmapAND in BENCH_serving.json.
+func andBitmapsScalar(a, b *idBitmap, dst []uint16) []uint16 {
 	for w := 0; w < bitmapWords; w++ {
 		m := a[w] & b[w]
 		base := uint16(w << 6)

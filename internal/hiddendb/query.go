@@ -98,17 +98,34 @@ func (q Query) Key() string {
 		return ""
 	}
 	bp := keyBufPool.Get().(*[]byte)
-	b := (*bp)[:0]
-	for _, p := range q.preds {
-		b = strconv.AppendInt(b, int64(p.Attr), 10)
-		b = append(b, '=')
-		b = strconv.AppendUint(b, uint64(p.Val), 10)
-		b = append(b, ';')
-	}
+	b := AppendPredsKey((*bp)[:0], q.preds)
 	s := string(b)
 	*bp = b
 	keyBufPool.Put(bp)
 	return s
+}
+
+// AppendKey appends the query's canonical key encoding to dst — the same
+// bytes Key returns, without materializing the string. The serving fast
+// path builds keys in pooled scratch and probes the answer cache with the
+// raw bytes.
+func (q Query) AppendKey(dst []byte) []byte {
+	return AppendPredsKey(dst, q.preds)
+}
+
+// AppendPredsKey appends the canonical cache-key encoding of a sorted,
+// duplicate-free predicate list: the bytes a Query over exactly those
+// predicates returns from Key. Callers own the sortedness/uniqueness
+// precondition (the HTTP handler sorts and validates wire predicates
+// before probing the cache).
+func AppendPredsKey(dst []byte, preds []Pred) []byte {
+	for _, p := range preds {
+		dst = strconv.AppendInt(dst, int64(p.Attr), 10)
+		dst = append(dst, '=')
+		dst = strconv.AppendUint(dst, uint64(p.Val), 10)
+		dst = append(dst, ';')
+	}
+	return dst
 }
 
 // String renders the query with attribute names from the schema.

@@ -372,6 +372,7 @@ type ShardedIface struct {
 	workers int // scatter-gather goroutines per query; <= 1 is sequential
 	queries atomic.Uint64
 	cache   atomic.Pointer[answerCache] // keyed by epoch seq
+	stats   cacheStats
 }
 
 // NewShardedIface creates a top-k view of the sharded store. scorer may be
@@ -438,20 +439,70 @@ func (f *ShardedIface) SearchBatch(qs []Query) []Result {
 // per-epoch answer cache when the pin is still current (sessions pinned to
 // an older epoch bypass the cache rather than thrash it).
 func (f *ShardedIface) answer(e *Epoch, q Query) Result {
+	return f.answerEpoch(e, q).res
+}
+
+// answerEpoch is answer returning the shared cached *Answer, collapsing
+// concurrent identical queries on the current epoch into one
+// scatter-gather execution (answer.go).
+func (f *ShardedIface) answerEpoch(e *Epoch, q Query) *Answer {
 	cur := f.ss.epoch.Load()
 	if cur == nil || cur.seq != e.seq {
-		return e.Answer(q, f.k, f.scorer, f.workers)
+		f.stats.misses.Add(1)
+		return &Answer{res: e.Answer(q, f.k, f.scorer, f.workers)}
 	}
 	c := f.cacheFor(e.seq)
 	key := q.Key()
-	sh := c.shard(key)
-	if r, ok := sh.get(key); ok {
-		return r
-	}
-	r := e.Answer(q, f.k, f.scorer, f.workers)
-	sh.put(key, r)
-	return r
+	return c.shard(key).do(key, &f.stats, func() Result {
+		return e.Answer(q, f.k, f.scorer, f.workers)
+	})
 }
+
+// SearchAnswer is Search returning the shared cached *Answer so the
+// serving layer can memoize wire encodings per epoch (answer.go).
+func (f *ShardedIface) SearchAnswer(q Query) (*Answer, error) {
+	f.queries.Add(1)
+	return f.answerEpoch(f.ss.Epoch(), q), nil
+}
+
+// SearchBatchAnswer is SearchBatch returning the shared cached Answers,
+// under the same single epoch pin.
+func (f *ShardedIface) SearchBatchAnswer(qs []Query) []*Answer {
+	out := make([]*Answer, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	f.queries.Add(uint64(len(qs)))
+	e := f.ss.Epoch()
+	for i, q := range qs {
+		out[i] = f.answerEpoch(e, q)
+	}
+	return out
+}
+
+// LookupAnswer is the serving fast path over the current epoch: probe the
+// cache by raw key bytes (Query.AppendKey) with no Query construction.
+// Mirrors Iface.LookupAnswer: hits count one query, misses count nothing.
+func (f *ShardedIface) LookupAnswer(key []byte) (*Answer, bool) {
+	e := f.ss.epoch.Load()
+	if e == nil {
+		return nil, false
+	}
+	c := f.cache.Load()
+	if c == nil || c.version != e.seq {
+		return nil, false
+	}
+	a, ok := c.shardBytes(key).get(key)
+	if !ok {
+		return nil, false
+	}
+	f.queries.Add(1)
+	f.stats.hits.Add(1)
+	return a, true
+}
+
+// CacheStats returns the lifetime answer-cache counters.
+func (f *ShardedIface) CacheStats() CacheStats { return f.stats.read() }
 
 // cacheFor returns the answer cache for the given epoch seq, swapping a
 // fresh one in when the epoch moved on.

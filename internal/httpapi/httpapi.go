@@ -17,8 +17,9 @@ import (
 )
 
 // Version is the current API version. All routes are mounted under
-// "/<Version>/"; the unversioned paths remain as deprecated aliases for
-// one release. Health endpoints report it as "api_version".
+// "/<Version>/" only — the unversioned aliases of the first versioned
+// release are gone and 404 like any unknown path. Health endpoints
+// report it as "api_version".
 const Version = "v1"
 
 // Error codes shared across services.

@@ -10,8 +10,8 @@ import (
 )
 
 // Handler exposes the service's current state over HTTP, mounted under
-// the current API version (plus deprecated unversioned aliases for one
-// release):
+// the current API version (the deprecated unversioned aliases were
+// removed; legacy paths get the 404 envelope):
 //
 //	GET /v1/status    → the full round View (algorithm, round, budget,
 //	                    queries, estimates, last error)
@@ -28,10 +28,10 @@ import (
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	handle := func(pattern string, h http.HandlerFunc) {
-		// Register each route under /v1 and, for one deprecated
-		// release, at its legacy unversioned path.
+		// Versioned routes only: the deprecated unversioned aliases
+		// were removed after their one-release grace period, so legacy
+		// paths fall through to the 404 envelope.
 		mux.HandleFunc("GET /"+httpapi.Version+pattern, h)
-		mux.HandleFunc("GET "+pattern, h)
 	}
 	handle("/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.statusView())
@@ -100,6 +100,15 @@ func (s *Service) serveMetrics(w http.ResponseWriter) {
 		if e.OK {
 			b.Value("dynagg_track_estimate", e.Value, "aggregate", e.Aggregate)
 		}
+	}
+	if s.cfg.AnswerCacheStats != nil {
+		cs := s.cfg.AnswerCacheStats()
+		b.Family("dynagg_track_answer_cache_hits_total", "counter", "Answer-cache hits on the backing interface.")
+		b.Value("dynagg_track_answer_cache_hits_total", float64(cs.Hits))
+		b.Family("dynagg_track_answer_cache_misses_total", "counter", "Answer-cache misses (engine executions) on the backing interface.")
+		b.Value("dynagg_track_answer_cache_misses_total", float64(cs.Misses))
+		b.Family("dynagg_track_answer_cache_collapsed_total", "counter", "Concurrent identical queries collapsed by singleflight on the backing interface.")
+		b.Value("dynagg_track_answer_cache_collapsed_total", float64(cs.Collapsed))
 	}
 	w.Header().Set("Content-Type", metrics.ContentType)
 	_, _ = b.WriteTo(w)

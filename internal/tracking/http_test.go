@@ -31,7 +31,7 @@ func TestHandlerConcurrentReaders(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < 25; i++ {
-				resp, err := http.Get(srv.URL + paths[(c+i)%len(paths)])
+				resp, err := http.Get(srv.URL + "/v1" + paths[(c+i)%len(paths)])
 				if err != nil {
 					t.Errorf("client %d: %v", c, err)
 					return
@@ -65,7 +65,7 @@ func TestHandlerConcurrentReaders(t *testing.T) {
 
 	// The metrics endpoint renders the final immutable view, including
 	// the speculative-waste counter surfaced for the ROADMAP item.
-	resp, err := http.Get(srv.URL + "/metrics")
+	resp, err := http.Get(srv.URL + "/v1/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}

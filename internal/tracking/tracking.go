@@ -33,6 +33,7 @@ import (
 
 	"github.com/dynagg/dynagg/internal/agg"
 	"github.com/dynagg/dynagg/internal/estimator"
+	"github.com/dynagg/dynagg/internal/hiddendb"
 	"github.com/dynagg/dynagg/internal/schema"
 )
 
@@ -82,6 +83,11 @@ type Config struct {
 	// estimator round, numbered from 1). A remote service leaves it nil:
 	// the real database changes on its own.
 	PreRound func(round int) error
+	// AnswerCacheStats, when set, reports the backing interface's
+	// answer-cache counters for /v1/metrics (a local simulation passes
+	// the Iface's CacheStats method; remote trackers leave it nil — the
+	// cache lives server-side and is scraped there).
+	AnswerCacheStats func() hiddendb.CacheStats
 }
 
 // Service continuously tracks aggregates over a live hidden database.

@@ -113,7 +113,7 @@ func TestServiceHTTPEndpoints(t *testing.T) {
 	defer srv.Close()
 
 	// Before any round: not ready.
-	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	resp, err := srv.Client().Get(srv.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestServiceHTTPEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	resp, err = srv.Client().Get(srv.URL + "/status")
+	resp, err = srv.Client().Get(srv.URL + "/v1/status")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestServiceHTTPEndpoints(t *testing.T) {
 		t.Fatalf("status: %+v", status)
 	}
 
-	resp, err = srv.Client().Get(srv.URL + "/estimates")
+	resp, err = srv.Client().Get(srv.URL + "/v1/estimates")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestServiceHTTPEndpoints(t *testing.T) {
 		t.Fatalf("estimates: %+v", ests)
 	}
 
-	resp, err = srv.Client().Get(srv.URL + "/healthz")
+	resp, err = srv.Client().Get(srv.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -139,12 +139,13 @@ func TestBatchRejectsMalformedWholesale(t *testing.T) {
 	}
 }
 
-// TestV1RoutesAndAliases: every serving route answers under /v1 and at
-// its legacy unversioned alias, healthz reports the API version, and
-// unknown paths yield the shared 404 envelope.
+// TestV1RoutesAndAliases: every serving route answers under /v1, the
+// removed legacy unversioned aliases answer 404 with the shared
+// envelope, healthz reports the API version, and unknown paths yield
+// the shared 404 envelope.
 func TestV1RoutesAndAliases(t *testing.T) {
 	_, srv := newServer(t, 34, 500, 10)
-	for _, path := range []string{"/schema", "/v1/schema", "/search", "/v1/search", "/stats", "/v1/stats", "/healthz", "/v1/healthz", "/metrics", "/v1/metrics"} {
+	for _, path := range []string{"/v1/schema", "/v1/search", "/v1/stats", "/v1/healthz", "/v1/metrics"} {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
 			t.Fatal(err)
@@ -153,6 +154,21 @@ func TestV1RoutesAndAliases(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Errorf("GET %s: status %d", path, resp.StatusCode)
 		}
+	}
+	// The deprecated unversioned aliases are gone: 404 + envelope, so a
+	// stale client fails loudly rather than silently diverging.
+	for _, path := range []string{"/schema", "/search", "/stats", "/healthz", "/metrics"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+		if e, ok := httpapi.DecodeError(resp.Body); !ok || e.Code != httpapi.CodeNotFound {
+			t.Errorf("GET %s: envelope %+v ok=%v", path, e, ok)
+		}
+		resp.Body.Close()
 	}
 
 	resp, err := http.Get(srv.URL + "/v1/healthz")

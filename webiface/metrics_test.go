@@ -17,7 +17,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	// Issue a couple of searches under two keys so the per-key families
 	// have content.
 	for _, key := range []string{"alpha", "beta", "alpha"} {
-		req, err := http.NewRequest(http.MethodGet, srv.URL+"/search", nil)
+		req, err := http.NewRequest(http.MethodGet, srv.URL+"/v1/search", nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -32,7 +32,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		}
 	}
 
-	resp, err := http.Get(srv.URL + "/metrics")
+	resp, err := http.Get(srv.URL + "/v1/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}

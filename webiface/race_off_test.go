@@ -1,0 +1,8 @@
+//go:build !race
+
+package webiface
+
+// raceEnabled reports whether the race detector is active; alloc-count
+// assertions are skipped under -race because pooling and the detector's
+// instrumentation both add allocations.
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package webiface
+
+const raceEnabled = true

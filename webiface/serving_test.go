@@ -85,7 +85,7 @@ func TestHandlerConcurrentClients(t *testing.T) {
 			// Raw HTTP requests.
 			for i := 0; i < perClient; i++ {
 				qi := (c + i) % len(queries)
-				u := srv.URL + "/search"
+				u := srv.URL + "/v1/search"
 				sep := "?"
 				for _, p := range queries[qi].Preds() {
 					u += fmt.Sprintf("%swhere=%d:%d", sep, p.Attr, p.Val)
@@ -159,14 +159,14 @@ func TestHandlerServesAcrossRounds(t *testing.T) {
 			go func(c int) {
 				defer wg.Done()
 				for i := 0; i < 5; i++ {
-					get(fmt.Sprintf("/search?where=3:%d", (c+i)%3))
+					get(fmt.Sprintf("/v1/search?where=3:%d", (c+i)%3))
 				}
 			}(c)
 		}
 		wg.Wait()
 
 		var stats wireStats
-		if err := json.Unmarshal(get("/stats"), &stats); err != nil {
+		if err := json.Unmarshal(get("/v1/stats"), &stats); err != nil {
 			t.Fatal(err)
 		}
 		if round > 0 && stats.Version == lastVersion {
@@ -204,7 +204,7 @@ func TestHandlerPerKeyBudget(t *testing.T) {
 	srv.Close()
 
 	status := func(key string) int {
-		req, _ := http.NewRequest(http.MethodGet, srv2.URL+"/search?where=0:1", nil)
+		req, _ := http.NewRequest(http.MethodGet, srv2.URL+"/v1/search?where=0:1", nil)
 		if key != "" {
 			req.Header.Set("X-API-Key", key)
 		}
@@ -238,7 +238,7 @@ func TestHandlerPerKeyBudget(t *testing.T) {
 		t.Fatalf("alice after reset: status %d", got)
 	}
 	// The key= query parameter is an alias for the header.
-	resp, err := srv2.Client().Get(srv2.URL + "/search?where=0:1&key=bob")
+	resp, err := srv2.Client().Get(srv2.URL + "/v1/search?where=0:1&key=bob")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +252,7 @@ func TestHandlerPerKeyBudget(t *testing.T) {
 	// burn budget: dave sends three bad requests, then still has his
 	// full allowance of 3.
 	for _, bad := range []string{"where=nope", "where=0:1&where=0:2", "where=99:0"} {
-		resp, err := srv2.Client().Get(srv2.URL + "/search?" + bad + "&key=dave")
+		resp, err := srv2.Client().Get(srv2.URL + "/v1/search?" + bad + "&key=dave")
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -19,9 +19,16 @@
 // Many queries go out in one round trip as a batched POST /v1/search
 // (see wireBatchRequest); the server answers the whole batch under a
 // single snapshot/epoch pin, charging the per-key budget once per query.
-// Errors are the shared JSON envelope of internal/httpapi. All routes are
-// mounted under "/v1/" with the unversioned paths kept as deprecated
-// aliases for one release.
+// Errors are the shared JSON envelope of internal/httpapi. All routes
+// are mounted under "/v1/" only — the unversioned aliases of the first
+// versioned release have been removed and now answer 404 with the
+// standard envelope.
+//
+// Serving is wire-level fast-pathed (encode.go): requests parse into
+// pooled scratch, answers memoize their serialized JSON on the shared
+// per-version cache entry, and repeat queries under an unchanged
+// version are served with a single pre-encoded buffer write. docs/perf.md
+// ("Wire fast path") documents the ownership rules.
 //
 // Real sites need a site-specific request builder and response parser;
 // both are injectable (RequestFunc / ParseFunc).
@@ -100,9 +107,22 @@ type wireAttr struct {
 // (N shards, answers scatter-gathered off the pinned epoch). SearchBatch
 // must answer its whole batch under ONE snapshot/epoch pin; Version is a
 // serving diagnostic (store version, or epoch sequence when sharded).
+//
+// The Answer-returning methods power the wire fast path: they expose the
+// shared per-version cache entries so the handler can memoize serialized
+// JSON next to each Result (hiddendb.Answer.Wire), and LookupAnswer
+// probes the cache by raw key bytes without constructing a Query.
+// Implementations must keep the fast path observationally equivalent to
+// Search — same Result values, same version semantics — so responses are
+// byte-identical whether they come off a cache hit, a miss, a
+// singleflight winner or a waiter.
 type Backend interface {
 	Search(q hiddendb.Query) (hiddendb.Result, error)
 	SearchBatch(qs []hiddendb.Query) []hiddendb.Result
+	SearchAnswer(q hiddendb.Query) (*hiddendb.Answer, error)
+	SearchBatchAnswer(qs []hiddendb.Query) []*hiddendb.Answer
+	LookupAnswer(key []byte) (*hiddendb.Answer, bool)
+	CacheStats() hiddendb.CacheStats
 	K() int
 	Schema() *schema.Schema
 	TotalQueries() uint64
@@ -113,8 +133,8 @@ var _ Backend = (*hiddendb.Iface)(nil)
 var _ Backend = (*hiddendb.ShardedIface)(nil)
 
 // Handler exposes a simulated store through the wire format. Routes
-// (each also mounted under the versioned prefix "/v1/"; the unversioned
-// paths are deprecated aliases kept for one release):
+// (versioned only — the deprecated unversioned aliases were removed
+// after their one-release grace period and return 404 envelopes):
 //
 //	GET  /v1/schema           → wireSchema
 //	GET  /v1/search?where=... → wireResult
@@ -175,31 +195,27 @@ func (h *Handler) consumeBudget(key string) bool {
 	return true
 }
 
-// ServeHTTP implements http.Handler. The "/v1" prefix is stripped before
-// routing, which is what makes every unversioned path a legacy alias of
-// its versioned twin.
+// ServeHTTP implements http.Handler. Only the versioned "/v1/..." paths
+// route; the unversioned aliases of the first versioned release are gone
+// and fall through to the 404 envelope like any unknown path.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	path := r.URL.Path
-	if rest, ok := strings.CutPrefix(path, "/"+httpapi.Version); ok && (rest == "" || rest[0] == '/') {
-		path = rest
-	}
-	switch path {
-	case "/schema":
+	switch r.URL.Path {
+	case "/v1/schema":
 		h.serveSchema(w)
-	case "/search":
+	case "/v1/search":
 		if r.Method == http.MethodPost {
 			h.serveSearchBatch(w, r)
 			return
 		}
 		h.serveSearch(w, r)
-	case "/stats":
+	case "/v1/stats":
 		h.serveStats(w)
-	case "/healthz":
+	case "/v1/healthz":
 		httpapi.WriteJSON(w, http.StatusOK, map[string]string{
 			"status":      "ok",
 			"api_version": httpapi.Version,
 		})
-	case "/metrics":
+	case "/v1/metrics":
 		h.serveMetrics(w)
 	default:
 		httpapi.WriteError(w, http.StatusNotFound, httpapi.CodeNotFound, "no such route: "+r.URL.Path)
@@ -225,6 +241,13 @@ func (h *Handler) serveMetrics(w http.ResponseWriter) {
 	b.Value("dynagg_serve_queries_total", float64(h.b.TotalQueries()))
 	b.Family("dynagg_serve_store_version", "gauge", "Store version currently answered from.")
 	b.Value("dynagg_serve_store_version", float64(h.b.Version()))
+	cs := h.b.CacheStats()
+	b.Family("dynagg_serve_answer_cache_hits_total", "counter", "Queries served from the per-version answer cache (including pre-encoded fast-path hits).")
+	b.Value("dynagg_serve_answer_cache_hits_total", float64(cs.Hits))
+	b.Family("dynagg_serve_answer_cache_misses_total", "counter", "Queries that ran the answering engine (cache misses and cache-bypass paths).")
+	b.Value("dynagg_serve_answer_cache_misses_total", float64(cs.Misses))
+	b.Family("dynagg_serve_answer_cache_collapsed_total", "counter", "Concurrent identical queries collapsed into another execution's result (singleflight waiters).")
+	b.Value("dynagg_serve_answer_cache_collapsed_total", float64(cs.Collapsed))
 	b.Family("dynagg_serve_per_key_budget", "gauge", "Per-API-key query budget per round (0 = unlimited).")
 	b.Int("dynagg_serve_per_key_budget", budget)
 	b.Family("dynagg_serve_key_queries_used", "gauge", "Queries charged to each API key this round.")
@@ -309,25 +332,42 @@ func (h *Handler) wireResultOf(res hiddendb.Result) wireResult {
 	return out
 }
 
+// serveSearch answers a single GET query through the wire fast path:
+// parse into pooled scratch, charge the budget, probe the answer cache
+// by scratch-built key bytes, and serve the pre-encoded body on a hit.
+// Only a miss constructs a Query and runs the engine — and even then the
+// encode it pays is memoized for every later hit at this version.
 func (h *Handler) serveSearch(w http.ResponseWriter, r *http.Request) {
-	q, err := h.parseWhere(r.URL.Query()["where"])
+	sc := getReqScratch()
+	defer putReqScratch(sc)
+	qkey, err := h.parseSearchParams(r, sc)
 	if err != nil {
 		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
 		return
 	}
+	key := r.Header.Get("X-API-Key")
+	if key == "" {
+		key = qkey
+	}
 	// Charge the budget only for well-formed queries: a request rejected
 	// at parse time was never answered, so it must not burn a unit of G.
-	if !h.consumeBudget(apiKey(r)) {
+	if !h.consumeBudget(key) {
 		httpapi.WriteError(w, http.StatusTooManyRequests, httpapi.CodeBudgetExhausted,
 			"per-round query budget exhausted")
 		return
 	}
-	res, err := h.b.Search(q)
+	sortPreds(sc.preds)
+	sc.key = hiddendb.AppendPredsKey(sc.key[:0], sc.preds)
+	if a, ok := h.b.LookupAnswer(sc.key); ok {
+		h.writeAnswer(w, a)
+		return
+	}
+	a, err := h.b.SearchAnswer(hiddendb.NewQuery(sc.preds...))
 	if err != nil {
 		httpapi.WriteError(w, http.StatusInternalServerError, httpapi.CodeInternal, err.Error())
 		return
 	}
-	writeJSON(w, h.wireResultOf(res))
+	h.writeAnswer(w, a)
 }
 
 // serveSearchBatch answers a POST /search: many queries, one round trip,
@@ -336,14 +376,28 @@ func (h *Handler) serveSearch(w http.ResponseWriter, r *http.Request) {
 // after that, queries are charged in order and the ones the per-key
 // budget cannot cover come back as per-item budget_exhausted errors while
 // the covered ones are answered together via Backend.SearchBatch.
+// batchBudgetErrJSON is the pre-rendered wireBatchItem for a query the
+// per-key budget could not cover — byte-identical to encoding/json over
+// the equivalent envelope payload.
+const batchBudgetErrJSON = `{"error":{"code":"` + httpapi.CodeBudgetExhausted +
+	`","message":"per-round query budget exhausted"}}`
+
 func (h *Handler) serveSearchBatch(w http.ResponseWriter, r *http.Request) {
-	var req wireBatchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	sc := getReqScratch()
+	defer putReqScratch(sc)
+	body, err := readBody(r.Body, sc)
+	if err != nil {
 		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, "batch decode: "+err.Error())
 		return
 	}
-	qs := make([]hiddendb.Query, len(req.Queries))
-	for i, wq := range req.Queries {
+	sc.req.Queries = sc.req.Queries[:0]
+	if err := json.Unmarshal(body, &sc.req); err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, "batch decode: "+err.Error())
+		return
+	}
+	qs := append(sc.qs[:0], make([]hiddendb.Query, len(sc.req.Queries))...)
+	sc.qs = qs
+	for i, wq := range sc.req.Queries {
 		q, err := h.parseWhere(wq.Where)
 		if err != nil {
 			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest,
@@ -353,37 +407,56 @@ func (h *Handler) serveSearchBatch(w http.ResponseWriter, r *http.Request) {
 		qs[i] = q
 	}
 	key := apiKey(r)
-	items := make([]wireBatchItem, len(qs))
 	charged := make([]hiddendb.Query, 0, len(qs))
 	chargedIdx := make([]int, 0, len(qs))
+	inBudget := make([]bool, len(qs))
 	for i, q := range qs {
 		if !h.consumeBudget(key) {
-			items[i].Error = &httpapi.Error{
-				Code:    httpapi.CodeBudgetExhausted,
-				Message: "per-round query budget exhausted",
-			}
 			continue
 		}
+		inBudget[i] = true
 		charged = append(charged, q)
 		chargedIdx = append(chargedIdx, i)
 	}
-	for j, res := range h.b.SearchBatch(charged) {
-		wr := h.wireResultOf(res)
-		items[chargedIdx[j]].Result = &wr
+	// One epoch/snapshot pin for the whole covered batch; each answer's
+	// wire bytes are memoized on its shared cache entry, so the splice
+	// below is a copy per item, not an encode per item, once warm.
+	answers := make([]*hiddendb.Answer, len(qs))
+	for j, a := range h.b.SearchBatchAnswer(charged) {
+		answers[chargedIdx[j]] = a
 	}
-	writeJSON(w, wireBatchResponse{K: h.b.K(), Results: items})
+	buf := append(sc.buf[:0], `{"k":`...)
+	buf = strconv.AppendInt(buf, int64(h.b.K()), 10)
+	buf = append(buf, `,"results":[`...)
+	for i := range qs {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		if !inBudget[i] {
+			buf = append(buf, batchBudgetErrJSON...)
+			continue
+		}
+		buf = append(buf, `{"result":`...)
+		buf = append(buf, answers[i].Wire(h.encodeResult)...)
+		buf = append(buf, '}')
+	}
+	buf = append(buf, `]}`...)
+	buf = append(buf, '\n')
+	sc.buf = buf
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf)
 }
 
 func parsePred(raw string) (int, uint16, error) {
-	parts := strings.SplitN(raw, ":", 2)
-	if len(parts) != 2 {
+	attrS, valS, found := strings.Cut(raw, ":")
+	if !found {
 		return 0, 0, fmt.Errorf("webiface: bad predicate %q (want attr:value)", raw)
 	}
-	attr, err := strconv.Atoi(parts[0])
+	attr, err := strconv.Atoi(attrS)
 	if err != nil {
 		return 0, 0, fmt.Errorf("webiface: bad attribute in %q", raw)
 	}
-	val, err := strconv.ParseUint(parts[1], 10, 16)
+	val, err := strconv.ParseUint(valS, 10, 16)
 	if err != nil {
 		return 0, 0, fmt.Errorf("webiface: bad value in %q", raw)
 	}
@@ -464,8 +537,8 @@ func (e *BudgetExhaustedError) Error() string {
 func (e *BudgetExhaustedError) Unwrap() error { return hiddendb.ErrBudgetExhausted }
 
 // Dial fetches the remote schema and returns a ready client. The client
-// speaks the versioned API ("/v1/..." routes); servers one release behind
-// still answer them via their legacy aliases.
+// speaks the versioned API ("/v1/..." routes) exclusively — the
+// unversioned aliases are gone on the server side too.
 func Dial(base string, opts ClientOptions) (*Client, error) {
 	if opts.HTTPClient == nil {
 		opts.HTTPClient = &http.Client{Timeout: 30 * time.Second}

@@ -87,7 +87,7 @@ func TestRemoteSearchMatchesLocal(t *testing.T) {
 func TestBadPredicateRejected(t *testing.T) {
 	_, srv := newServer(t, 3, 1000, 10)
 	for _, raw := range []string{"zz", "99:1", "0:99999", "0:xx"} {
-		resp, err := http.Get(srv.URL + "/search?where=" + raw)
+		resp, err := http.Get(srv.URL + "/v1/search?where=" + raw)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,7 +96,7 @@ func TestBadPredicateRejected(t *testing.T) {
 			t.Errorf("predicate %q: status %d, want 400", raw, resp.StatusCode)
 		}
 	}
-	resp, err := http.Get(srv.URL + "/nope")
+	resp, err := http.Get(srv.URL + "/v1/nope")
 	if err != nil {
 		t.Fatal(err)
 	}
