@@ -109,6 +109,12 @@ func (sh *cacheShard) do(key string, stats *cacheStats, compute func() Result) *
 		sh.mu.Unlock()
 		stats.collapsed.Add(1)
 		<-fl.done
+		if fl.a == nil {
+			// The winner panicked before publishing. Its flight has been
+			// withdrawn, so retry from the top: hit the cache if another
+			// goroutine published meanwhile, else run compute ourselves.
+			return sh.do(key, stats, compute)
+		}
 		return fl.a
 	}
 	fl := &flight{done: make(chan struct{})}
@@ -119,6 +125,19 @@ func (sh *cacheShard) do(key string, stats *cacheStats, compute func() Result) *
 	sh.mu.Unlock()
 
 	stats.misses.Add(1)
+	published := false
+	defer func() {
+		if published {
+			return
+		}
+		// compute panicked: withdraw the flight and wake the waiters so
+		// they retry instead of blocking forever on a done channel nobody
+		// will close, then let the panic propagate.
+		sh.mu.Lock()
+		delete(sh.inflight, key)
+		sh.mu.Unlock()
+		close(fl.done)
+	}()
 	fl.a = &Answer{res: compute()}
 
 	sh.mu.Lock()
@@ -128,6 +147,7 @@ func (sh *cacheShard) do(key string, stats *cacheStats, compute func() Result) *
 	sh.m[key] = fl.a
 	delete(sh.inflight, key)
 	sh.mu.Unlock()
+	published = true
 	close(fl.done)
 	return fl.a
 }

@@ -129,6 +129,65 @@ func TestCacheShardDoSingleflight(t *testing.T) {
 	}
 }
 
+// TestCacheShardDoPanicDoesNotWedge: a panic inside compute must
+// propagate to the winner, wake every parked waiter (who then retry and
+// compute for themselves), and leave the (version, key) fully usable —
+// not permanently wedged behind a done channel nobody will close.
+func TestCacheShardDoPanicDoesNotWedge(t *testing.T) {
+	var sh cacheShard
+	var stats cacheStats
+
+	computeEntered := make(chan struct{})
+	release := make(chan struct{})
+	winnerPanic := make(chan any, 1)
+	go func() {
+		defer func() { winnerPanic <- recover() }()
+		sh.do("key", &stats, func() Result {
+			close(computeEntered)
+			<-release
+			panic("engine blew up")
+		})
+	}()
+	<-computeEntered
+
+	const waiters = 4
+	results := make([]*Answer, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = sh.do("key", &stats, func() Result {
+				return Result{Overflow: true}
+			})
+		}(i)
+	}
+	// Make sure every waiter is parked on the doomed flight before the
+	// panic fires, so the test exercises the wake-up path.
+	for stats.collapsed.Load() != waiters {
+		runtime.Gosched()
+	}
+	close(release)
+
+	if r := <-winnerPanic; r == nil {
+		t.Fatal("winner's panic was swallowed")
+	}
+	wg.Wait()
+	for i, a := range results {
+		if a == nil || !a.Result().Overflow {
+			t.Fatalf("waiter %d got %v, want a retried answer", i, a)
+		}
+	}
+	// A retrying waiter published the entry, so the key now serves hits.
+	a := sh.do("key", &stats, func() Result {
+		t.Error("recompute after retry publication")
+		return Result{}
+	})
+	if !a.Result().Overflow {
+		t.Fatal("post-panic hit returned the wrong answer")
+	}
+}
+
 // TestIfaceAnswerCacheCounters walks the miss → hit → key-probe →
 // invalidation lifecycle through the public Iface surface.
 func TestIfaceAnswerCacheCounters(t *testing.T) {

@@ -180,6 +180,7 @@ func (h *Handler) parseSearchParams(r *http.Request, sc *reqScratch) (qkey strin
 		}
 		return vals.Get("key"), nil
 	}
+	keySeen := false
 	for raw != "" {
 		var seg string
 		seg, raw, _ = strings.Cut(raw, "&")
@@ -193,7 +194,11 @@ func (h *Handler) parseSearchParams(r *http.Request, sc *reqScratch) (qkey strin
 				return "", err
 			}
 		case "key":
-			if qkey == "" {
+			// First occurrence wins even when empty, matching
+			// url.Values.Get on the fallback path: ?key=&key=X must
+			// charge the same budget key whichever parser ran.
+			if !keySeen {
+				keySeen = true
 				qkey = val
 			}
 		}

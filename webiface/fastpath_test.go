@@ -405,6 +405,127 @@ func TestFastPathSingleflightConcurrentChurn(t *testing.T) {
 	}
 }
 
+// TestDecodeBatchScratchReuseNoLeak pins the pooled-decode contract: a
+// batch query object that omits "where" (a valid match-all query) must
+// decode to an empty predicate list even when the scratch's previous
+// request left populated wireBatchQuery elements in the backing array —
+// encoding/json merges into reused elements, so without the pre-decode
+// zeroing a later tenant would inherit the earlier tenant's predicates.
+func TestDecodeBatchScratchReuseNoLeak(t *testing.T) {
+	sc := new(reqScratch)
+	if err := decodeBatch([]byte(`{"queries":[{"where":["0:1","2:3"]},{"where":["1:1"]}]}`), sc); err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.req.Queries) != 2 || len(sc.req.Queries[0].Where) != 2 {
+		t.Fatalf("seed decode wrong: %+v", sc.req.Queries)
+	}
+	// Same scratch, new request: one query with "where" absent, one with
+	// it explicitly empty. Both must come out with zero predicates.
+	if err := decodeBatch([]byte(`{"queries":[{},{"where":[]}]}`), sc); err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.req.Queries) != 2 {
+		t.Fatalf("got %d queries, want 2", len(sc.req.Queries))
+	}
+	for i, q := range sc.req.Queries {
+		if len(q.Where) != 0 {
+			t.Fatalf("query %d inherited stale predicates from the pooled scratch: %q", i, q.Where)
+		}
+	}
+}
+
+// TestFastPathBatchMatchAllAfterPredicates is the end-to-end form of the
+// scratch-reuse check: alternate a predicate-heavy batch with a bare
+// {"queries":[{}]} batch against one server and assert the match-all
+// answer never shrinks to the previous request's filtered result.
+func TestFastPathBatchMatchAllAfterPredicates(t *testing.T) {
+	data := workload.AutosLikeN(101, 3000, 8)
+	env, err := workload.NewEnv(data, 2500, 102)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface := hiddendb.NewIface(env.Store, 40, nil)
+	h := NewHandler(iface)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	fresh := hiddendb.NewIface(env.Store, 40, nil)
+	res, err := fresh.Search(hiddendb.NewQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr := h.wireResultOf(res)
+	want := wireBatchResponse{K: 40, Results: []wireBatchItem{{Result: &wr}}}
+	wantRaw, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRaw = append(wantRaw, '\n')
+
+	for i := 0; i < 20; i++ {
+		resp, err := http.Post(srv.URL+"/v1/search", "application/json",
+			strings.NewReader(`{"queries":[{"where":["0:1","1:1"]}]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+
+		resp, err = http.Post(srv.URL+"/v1/search", "application/json",
+			strings.NewReader(`{"queries":[{}]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, wantRaw) {
+			t.Fatalf("iteration %d: match-all batch inherited prior request's predicates\ngot  %s\nwant %s",
+				i, got, wantRaw)
+		}
+	}
+}
+
+// TestParseSearchParamsKeyMatchesURLValues: the zero-alloc query-string
+// walk must pick the same key= value url.Values.Get would — first
+// occurrence wins even when empty — so budget accounting cannot differ
+// by parse route for the same request.
+func TestParseSearchParamsKeyMatchesURLValues(t *testing.T) {
+	data := workload.AutosLikeN(111, 500, 8)
+	env, err := workload.NewEnv(data, 400, 112)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(hiddendb.NewIface(env.Store, 10, nil))
+
+	for _, raw := range []string{
+		"key=&key=X",
+		"key=X&key=",
+		"key=X&key=Y",
+		"key=abc",
+		"where=0:1&key=tenant",
+		"key",
+		"",
+	} {
+		vals, err := url.ParseQuery(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := vals.Get("key")
+		sc := new(reqScratch)
+		r := httptest.NewRequest(http.MethodGet, "/v1/search?"+raw, nil)
+		got, err := h.parseSearchParams(r, sc)
+		if err != nil {
+			t.Fatalf("%q: %v", raw, err)
+		}
+		if got != want {
+			t.Fatalf("%q: fast path key %q, url.Values.Get %q", raw, got, want)
+		}
+	}
+}
+
 // TestFastPathSingleflightWaitersMatchWinner releases a burst of
 // concurrent identical first-queries at a fresh version and checks every
 // response body is literally identical — winner and waiters serve the

@@ -382,6 +382,18 @@ func (h *Handler) serveSearch(w http.ResponseWriter, r *http.Request) {
 const batchBudgetErrJSON = `{"error":{"code":"` + httpapi.CodeBudgetExhausted +
 	`","message":"per-round query budget exhausted"}}`
 
+// decodeBatch unmarshals a batch body into the pooled scratch's request
+// struct. encoding/json decodes into the existing backing array when
+// capacity allows and merges into whatever the elements already hold, so
+// a query object that omits "where" (a valid match-all query) would
+// silently inherit predicates from whichever request last used this
+// scratch. Zero every reusable element before decoding.
+func decodeBatch(body []byte, sc *reqScratch) error {
+	clear(sc.req.Queries[:cap(sc.req.Queries)])
+	sc.req.Queries = sc.req.Queries[:0]
+	return json.Unmarshal(body, &sc.req)
+}
+
 func (h *Handler) serveSearchBatch(w http.ResponseWriter, r *http.Request) {
 	sc := getReqScratch()
 	defer putReqScratch(sc)
@@ -390,8 +402,7 @@ func (h *Handler) serveSearchBatch(w http.ResponseWriter, r *http.Request) {
 		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, "batch decode: "+err.Error())
 		return
 	}
-	sc.req.Queries = sc.req.Queries[:0]
-	if err := json.Unmarshal(body, &sc.req); err != nil {
+	if err := decodeBatch(body, sc); err != nil {
 		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, "batch decode: "+err.Error())
 		return
 	}
