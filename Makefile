@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-serving bench-load bench-smoke fmt fmt-check vet ci
+.PHONY: build test race bench bench-serving bench-load bench-load-router bench-smoke fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -30,11 +30,14 @@ fmt-check:
 # task-table writers racing the tick loop), the snapshot engine's
 # concurrent-reader contract (32 sessions on one Iface), the sharded
 # store's scatter-gather path (32 epoch-pinned sessions racing per-shard
-# mutator goroutines and epoch publication) and the HTTP serving layer
-# (32 concurrent clients on one handler) under the race detector.
+# mutator goroutines and epoch publication), the HTTP serving layer
+# (32 concurrent clients on one handler) and the multi-process router
+# (concurrent scatter-gather serving racing fleet epoch handshakes and
+# shard churn) under the race detector.
 race:
 	$(GO) test -race ./internal/experiments/ ./internal/estimator/ \
-		./internal/tracking/ ./internal/fleet/ ./internal/hiddendb/ ./webiface/
+		./internal/tracking/ ./internal/fleet/ ./internal/hiddendb/ \
+		./internal/router/ ./webiface/
 
 # bench regenerates every figure and reports the headline metrics, then
 # refreshes the machine-readable serving-benchmark record.
@@ -80,6 +83,19 @@ LOADGEN_FLAGS ?=
 bench-load:
 	$(GO) run ./cmd/dynagg-loadgen -selfserve -compare -duration $(LOAD_DURATION) \
 		-warmup 1s -clients 16 -queries 64 -zipf 1.2 $(LOADGEN_FLAGS) -out BENCH_load.json
+
+# bench-load-router measures the fan-out tax: the same workload against
+# a single in-process server (BENCH_load_single.json) and against the
+# full in-process fleet topology — ROUTER_SHARDS shard daemons behind a
+# dynagg-router with the startup epoch handshake
+# (BENCH_load_router.json). CI archives both and logs the router/single
+# p50 ratio as a soft signal.
+ROUTER_SHARDS ?= 4
+bench-load-router:
+	$(GO) run ./cmd/dynagg-loadgen -selfserve -duration $(LOAD_DURATION) \
+		-warmup 1s -clients 16 -queries 64 -zipf 1.2 $(LOADGEN_FLAGS) -out BENCH_load_single.json
+	$(GO) run ./cmd/dynagg-loadgen -selfserve-router $(ROUTER_SHARDS) -duration $(LOAD_DURATION) \
+		-warmup 1s -clients 16 -queries 64 -zipf 1.2 $(LOADGEN_FLAGS) -out BENCH_load_router.json
 
 # bench-smoke runs every benchmark exactly once so bench_test.go cannot
 # silently rot (no timing value, compile+run coverage only).

@@ -51,6 +51,9 @@ import (
 	"time"
 
 	dynagg "github.com/dynagg/dynagg"
+	"github.com/dynagg/dynagg/internal/hiddendb"
+	"github.com/dynagg/dynagg/internal/router"
+	"github.com/dynagg/dynagg/internal/schema"
 	"github.com/dynagg/dynagg/webiface"
 )
 
@@ -76,6 +79,13 @@ type config struct {
 	batch   int
 	seed    int64
 
+	// latency/error SLOs, hard-failed (exit 3) after the report is
+	// written; 0 disables each
+	sloP50Ms     float64
+	sloP95Ms     float64
+	sloP99Ms     float64
+	sloErrorRate float64
+
 	// selfserve knobs
 	n, m, k      int
 	budget       int
@@ -84,6 +94,7 @@ type config struct {
 	deleteFrac   float64
 	shards       int
 	gatherWidth  int
+	routerShards int
 	selfserveLog bool
 }
 
@@ -115,20 +126,32 @@ func main() {
 	flag.Float64Var(&cfg.deleteFrac, "delete", 0.001, "selfserve: fraction deleted per round")
 	flag.IntVar(&cfg.shards, "shards", 1, "selfserve: hash-partition the store N ways")
 	flag.IntVar(&cfg.gatherWidth, "gather", 1, "selfserve: scatter-gather goroutines per query")
+	flag.IntVar(&cfg.routerShards, "selfserve-router", 0, "selfserve: run N in-process shard daemons behind a dynagg-router instead of one handler (static data)")
 	flag.BoolVar(&cfg.selfserveLog, "selfserve-log", false, "selfserve: log churn rounds")
+	flag.Float64Var(&cfg.sloP50Ms, "slo-p50", 0, "fail (exit 3) if any pass's p50 exceeds this many ms (0 = off)")
+	flag.Float64Var(&cfg.sloP95Ms, "slo-p95", 0, "fail (exit 3) if any pass's p95 exceeds this many ms (0 = off)")
+	flag.Float64Var(&cfg.sloP99Ms, "slo-p99", 0, "fail (exit 3) if any pass's p99 exceeds this many ms (0 = off)")
+	flag.Float64Var(&cfg.sloErrorRate, "slo-error-rate", 0, "fail (exit 3) if any pass's error rate exceeds this fraction (0 = off)")
 	flag.Parse()
 
+	if cfg.routerShards > 0 {
+		cfg.selfserve = true // -selfserve-router implies an in-process target
+	}
 	if cfg.target == "" && !cfg.selfserve {
-		log.Fatal("need -target URL or -selfserve")
+		log.Fatal("need -target URL or -selfserve (a -target may point at a dynagg-router as well as a dynagg-serve)")
 	}
 	if cfg.compare && !cfg.selfserve {
 		log.Fatal("-compare requires -selfserve (both passes must hit a fresh store)")
+	}
+	if cfg.compare && cfg.routerShards > 0 {
+		log.Fatal("-compare measures the single-process answer cache; it does not combine with -selfserve-router")
 	}
 
 	report, err := run(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	report.SLO = evaluateSLOs(cfg, report.Passes)
 	raw, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -136,12 +159,59 @@ func main() {
 	raw = append(raw, '\n')
 	if cfg.out == "" {
 		os.Stdout.Write(raw)
-		return
-	}
-	if err := os.WriteFile(cfg.out, raw, 0o644); err != nil {
+	} else if err := os.WriteFile(cfg.out, raw, 0o644); err != nil {
 		log.Fatal(err)
+	} else {
+		log.Printf("wrote %s", cfg.out)
 	}
-	log.Printf("wrote %s", cfg.out)
+	// SLO verdict AFTER the report lands, so a violated run still leaves
+	// its artifact behind for the postmortem.
+	if report.SLO != nil && !report.SLO.Passed {
+		for _, v := range report.SLO.Violations {
+			log.Printf("SLO violation: %s", v)
+		}
+		os.Exit(3)
+	}
+}
+
+// sloResult records the configured latency/error-rate objectives and
+// every per-pass (per workload class) violation.
+type sloResult struct {
+	P50LimitMs     float64  `json:"p50_limit_ms,omitempty"`
+	P95LimitMs     float64  `json:"p95_limit_ms,omitempty"`
+	P99LimitMs     float64  `json:"p99_limit_ms,omitempty"`
+	ErrorRateLimit float64  `json:"error_rate_limit,omitempty"`
+	Violations     []string `json:"violations"`
+	Passed         bool     `json:"passed"`
+}
+
+// evaluateSLOs checks every pass against the configured objectives; nil
+// when no SLO flag is set.
+func evaluateSLOs(cfg config, passes []passResult) *sloResult {
+	if cfg.sloP50Ms == 0 && cfg.sloP95Ms == 0 && cfg.sloP99Ms == 0 && cfg.sloErrorRate == 0 {
+		return nil
+	}
+	out := &sloResult{
+		P50LimitMs:     cfg.sloP50Ms,
+		P95LimitMs:     cfg.sloP95Ms,
+		P99LimitMs:     cfg.sloP99Ms,
+		ErrorRateLimit: cfg.sloErrorRate,
+		Violations:     []string{},
+	}
+	check := func(pass string, metric string, got, limit float64, unit string) {
+		if limit > 0 && got > limit {
+			out.Violations = append(out.Violations,
+				fmt.Sprintf("pass %s: %s %.3f%s exceeds SLO %.3f%s", pass, metric, got, unit, limit, unit))
+		}
+	}
+	for _, p := range passes {
+		check(p.Name, "p50", p.P50Ms, cfg.sloP50Ms, "ms")
+		check(p.Name, "p95", p.P95Ms, cfg.sloP95Ms, "ms")
+		check(p.Name, "p99", p.P99Ms, cfg.sloP99Ms, "ms")
+		check(p.Name, "error rate", p.ErrorRate, cfg.sloErrorRate, "")
+	}
+	out.Passed = len(out.Violations) == 0
+	return out
 }
 
 // report is the BENCH_load.json shape.
@@ -149,6 +219,7 @@ type report struct {
 	Config   reportConfig  `json:"config"`
 	Passes   []passResult  `json:"passes"`
 	ColdHot  *coldHotRatio `json:"cold_hot,omitempty"`
+	SLO      *sloResult    `json:"slo,omitempty"`
 	ServerMs float64       `json:"-"`
 }
 
@@ -163,6 +234,7 @@ type reportConfig struct {
 	Batch    int     `json:"batch"`
 	Shards   int     `json:"shards"`
 	Gather   int     `json:"gather"`
+	Router   int     `json:"router_shards,omitempty"`
 	Seed     int64   `json:"seed"`
 }
 
@@ -193,7 +265,11 @@ func run(cfg config) (*report, error) {
 	var shutdown func()
 	if cfg.selfserve {
 		var err error
-		target, shutdown, err = startSelfServe(cfg)
+		if cfg.routerShards > 0 {
+			target, shutdown, err = startSelfServeRouter(cfg)
+		} else {
+			target, shutdown, err = startSelfServe(cfg)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -209,7 +285,7 @@ func run(cfg config) (*report, error) {
 		Target: target, Duration: cfg.duration.String(), Clients: cfg.clients,
 		RateRPS: cfg.rate, Queries: cfg.queries, Zipf: cfg.zipf,
 		Tenants: cfg.tenants, Batch: cfg.batch, Shards: cfg.shards,
-		Gather: cfg.gatherWidth, Seed: cfg.seed,
+		Gather: cfg.gatherWidth, Router: cfg.routerShards, Seed: cfg.seed,
 	}}
 
 	if cfg.compare {
@@ -663,4 +739,99 @@ func startSelfServe(cfg config) (string, func(), error) {
 		_ = srv.Shutdown(sctx)
 	}
 	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// startSelfServeRouter stands up the multi-process topology in one
+// process: N loopback shard daemons (a 1-way store behind a ShardAdmin,
+// exactly what `dynagg-serve -shard-mode` runs) fronted by a router that
+// performs the startup epoch handshake and then serves as the load
+// target. The fleet is static — churn needs real daemons driving their
+// own mutators — but a -round ticker still re-handshakes the fleet so
+// per-key budgets reset on epoch boundaries like production.
+func startSelfServeRouter(cfg config) (string, func(), error) {
+	data := dynagg.AutosLikeN(cfg.seed, cfg.n, cfg.m)
+	init0 := cfg.n * 9 / 10
+	env, err := dynagg.NewShardedEnv(data, init0, cfg.seed+1, cfg.routerShards)
+	if err != nil {
+		return "", nil, err
+	}
+	if cfg.round > 0 && (cfg.insert > 0 || cfg.deleteFrac > 0) {
+		log.Printf("selfserve-router: churn flags ignored (static fleet); rounds only re-handshake epochs")
+	}
+
+	var (
+		bases []string
+		srvs  []*http.Server
+	)
+	closeAll := func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		for _, s := range srvs {
+			_ = s.Shutdown(sctx)
+		}
+	}
+	for i := 0; i < cfg.routerShards; i++ {
+		var part []*schema.Tuple
+		env.Store.Shard(i).ForEach(func(tp *schema.Tuple) { part = append(part, tp.Clone(tp.ID)) })
+		ss := hiddendb.NewShardedStore(env.Store.Schema(), 1)
+		if err := ss.ApplyBatch(part, nil); err != nil {
+			closeAll()
+			return "", nil, err
+		}
+		h := webiface.NewHandler(hiddendb.NewShardedIface(ss, cfg.k, nil))
+		admin := router.NewShardAdmin(ss, h, router.AdminOptions{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closeAll()
+			return "", nil, err
+		}
+		srv := &http.Server{Handler: admin}
+		go func() { _ = srv.Serve(ln) }()
+		srvs = append(srvs, srv)
+		bases = append(bases, "http://"+ln.Addr().String())
+	}
+
+	rt, err := router.New(bases, router.Options{PerKeyBudget: cfg.budget})
+	if err != nil {
+		closeAll()
+		return "", nil, err
+	}
+	if _, err := rt.Handshake(context.Background()); err != nil {
+		closeAll()
+		return "", nil, err
+	}
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		closeAll()
+		return "", nil, err
+	}
+	rsrv := &http.Server{Handler: rt}
+	go func() { _ = rsrv.Serve(rln) }()
+	srvs = append(srvs, rsrv)
+
+	stop := make(chan struct{})
+	if cfg.round > 0 {
+		go func() {
+			t := time.NewTicker(cfg.round)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+				}
+				if seq, err := rt.Handshake(context.Background()); err != nil {
+					log.Printf("selfserve-router handshake: %v", err)
+				} else if cfg.selfserveLog {
+					log.Printf("selfserve-router round: fleet epoch %d", seq)
+				}
+			}
+		}()
+	}
+
+	shutdown := func() {
+		close(stop)
+		closeAll()
+	}
+	return "http://" + rln.Addr().String(), shutdown, nil
 }

@@ -17,6 +17,12 @@
 // boundary, and every query is answered by scatter-gather across the
 // pinned epoch — byte-identical to the unsharded store.
 //
+// With -shard-mode the daemon serves as ONE shard of a dynagg-router
+// fleet: the /v1/shard/* epoch admin wire is exposed, churn mutates
+// under the admin's quiescence lock, and epoch publication is left
+// entirely to the router's two-phase fleet handshake — the daemon never
+// advances its own epoch. docs/deploy.md describes the topology.
+//
 // Usage examples:
 //
 //	dynagg-serve                                  # 40k tuples on :8080
@@ -24,6 +30,7 @@
 //	dynagg-serve -budget 500 -round 10s           # G=500 per key per round
 //	dynagg-serve -round 5s -insert 300 -delete 0.001
 //	dynagg-serve -shards 8 -gather 4 -round 10s   # sharded scatter-gather
+//	dynagg-serve -shard-mode -addr :8081          # one shard of a router fleet
 package main
 
 import (
@@ -38,23 +45,26 @@ import (
 	"time"
 
 	dynagg "github.com/dynagg/dynagg"
+	"github.com/dynagg/dynagg/internal/router"
 	"github.com/dynagg/dynagg/webiface"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		n      = flag.Int("n", 40000, "dataset size (tuple pool)")
-		init0  = flag.Int("initial", 0, "initial database size (default 90% of n)")
-		m      = flag.Int("m", 38, "number of attributes (<=38)")
-		k      = flag.Int("k", 250, "interface top-k cap")
-		seed   = flag.Int64("seed", 1, "random seed")
-		budget = flag.Int("budget", 0, "per-API-key queries per round (0 = unlimited)")
-		round  = flag.Duration("round", 0, "round length; every round applies churn and resets budgets (0 = static database)")
-		insert = flag.Int("insert", 300, "tuples inserted per round")
-		del    = flag.Float64("delete", 0.001, "fraction of tuples deleted per round")
-		shards = flag.Int("shards", 1, "hash-partition the store N ways (scatter-gather serving)")
-		gather = flag.Int("gather", 1, "scatter-gather goroutines per query in sharded mode")
+		addr      = flag.String("addr", ":8080", "listen address")
+		n         = flag.Int("n", 40000, "dataset size (tuple pool)")
+		init0     = flag.Int("initial", 0, "initial database size (default 90% of n)")
+		m         = flag.Int("m", 38, "number of attributes (<=38)")
+		k         = flag.Int("k", 250, "interface top-k cap")
+		seed      = flag.Int64("seed", 1, "random seed")
+		budget    = flag.Int("budget", 0, "per-API-key queries per round (0 = unlimited)")
+		round     = flag.Duration("round", 0, "round length; every round applies churn and resets budgets (0 = static database)")
+		insert    = flag.Int("insert", 300, "tuples inserted per round")
+		del       = flag.Float64("delete", 0.001, "fraction of tuples deleted per round")
+		shards    = flag.Int("shards", 1, "hash-partition the store N ways (scatter-gather serving)")
+		gather    = flag.Int("gather", 1, "scatter-gather goroutines per query in sharded mode")
+		shardMode = flag.Bool("shard-mode", false, "serve as one shard of a dynagg-router fleet: expose the /v1/shard/* epoch admin wire and leave epoch publication to the router")
+		freezeTO  = flag.Duration("freeze-timeout", 30*time.Second, "shard mode: auto-abort a frozen epoch no router published in time")
 	)
 	flag.Parse()
 	if *init0 == 0 {
@@ -63,25 +73,30 @@ func main() {
 
 	data := dynagg.AutosLikeN(*seed, *n, *m)
 
-	// backend abstracts over the sharded and unsharded serving stacks so
-	// the HTTP/lifecycle plumbing below is written once.
+	// backend abstracts over the serving stacks — unsharded, sharded, and
+	// router-fleet shard — so the HTTP/lifecycle plumbing below is
+	// written once.
 	type backend struct {
-		iface   webiface.Backend
+		handler http.Handler
+		reset   func() // restore per-key budgets at a round boundary
 		size    func() int
 		version func() uint64
 		queries func() uint64
-		churn   func() error // one round of churn + epoch publication
+		churn   func() error // one round of churn (+ epoch publication unless the router owns it)
 	}
 	var b backend
-	if *shards > 1 {
+	if *shardMode || *shards > 1 {
 		env, err := dynagg.NewShardedEnv(data, *init0, *seed+1, *shards)
 		if err != nil {
 			log.Fatal(err)
 		}
 		iface := dynagg.NewShardedIface(env.Store, *k, nil)
 		iface.SetGatherWorkers(*gather)
+		h := webiface.NewHandler(iface)
+		h.SetPerKeyBudget(*budget)
 		b = backend{
-			iface:   iface,
+			handler: h,
+			reset:   h.ResetBudgets,
 			size:    env.Store.Size,
 			version: iface.Version,
 			queries: iface.TotalQueries,
@@ -99,14 +114,34 @@ func main() {
 				return nil
 			},
 		}
+		if *shardMode {
+			// As one shard of a router fleet the daemon never publishes
+			// epochs itself: churn mutates under the admin's quiescence
+			// lock and the router's two-phase handshake decides when a
+			// new epoch becomes visible, fleet-wide. Budgets are the
+			// router's to account, so the local round driver does not
+			// reset them either.
+			admin := router.NewShardAdmin(env.Store, h, router.AdminOptions{FreezeTimeout: *freezeTO})
+			mutate := func() error {
+				if err := env.InsertFromPool(*insert); err != nil {
+					return err
+				}
+				return env.DeleteFraction(*del)
+			}
+			b.handler = admin
+			b.churn = func() error { return admin.WithMutators(mutate) }
+		}
 	} else {
 		env, err := dynagg.NewEnv(data, *init0, *seed+1)
 		if err != nil {
 			log.Fatal(err)
 		}
 		iface := dynagg.NewIface(env.Store, *k, nil)
+		h := webiface.NewHandler(iface)
+		h.SetPerKeyBudget(*budget)
 		b = backend{
-			iface:   iface,
+			handler: h,
+			reset:   h.ResetBudgets,
 			size:    env.Store.Size,
 			version: env.Store.Version,
 			queries: iface.TotalQueries,
@@ -118,8 +153,6 @@ func main() {
 			},
 		}
 	}
-	h := webiface.NewHandler(b.iface)
-	h.SetPerKeyBudget(*budget)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -140,14 +173,16 @@ func main() {
 				if err := b.churn(); err != nil {
 					log.Printf("round churn: %v", err)
 				}
-				h.ResetBudgets()
+				if !*shardMode {
+					b.reset()
+				}
 				log.Printf("round: |D|=%d version=%d queries=%d",
 					b.size(), b.version(), b.queries())
 			}
 		}()
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: h}
+	srv := &http.Server{Addr: *addr, Handler: b.handler}
 	go func() {
 		// SIGINT/SIGTERM: stop accepting, drain in-flight requests for up
 		// to 10s, then exit. Clients mid-search get their answers.
@@ -159,8 +194,8 @@ func main() {
 		}
 	}()
 
-	log.Printf("serving %d-tuple hidden database on %s (k=%d, m=%d, budget=%d, round=%s, shards=%d)",
-		b.size(), *addr, *k, *m, *budget, *round, *shards)
+	log.Printf("serving %d-tuple hidden database on %s (k=%d, m=%d, budget=%d, round=%s, shards=%d, shard-mode=%v)",
+		b.size(), *addr, *k, *m, *budget, *round, *shards, *shardMode)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

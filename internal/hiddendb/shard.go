@@ -36,6 +36,13 @@ type ShardedStore struct {
 
 	epochMu sync.Mutex // serialises epoch publication
 	epoch   atomic.Pointer[Epoch]
+
+	// Two-phase publication state (epochctl.go), guarded by epochMu:
+	// a frozen snapshot set awaiting a coordinator-assigned sequence
+	// number, and the epoch the last PublishPending superseded (the
+	// rollback target while the coordinator may still abort).
+	pending   []*Snapshot
+	prevEpoch *Epoch
 }
 
 // NewShardedStore creates an empty store partitioned n ways. n = 1 is a
@@ -232,6 +239,12 @@ func (ss *ShardedStore) AdvanceEpoch() *Epoch {
 		snaps[i] = st.Snapshot()
 	}
 	e := &Epoch{seq: seq, snaps: snaps}
+	// A self-advanced epoch supersedes any in-flight two-phase state:
+	// publishing a stale frozen set after this point would serve data the
+	// round driver already moved past, and rolling back across it would
+	// regress the seq readers have observed.
+	ss.pending = nil
+	ss.prevEpoch = nil
 	ss.epoch.Store(e)
 	return e
 }

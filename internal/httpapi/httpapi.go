@@ -29,6 +29,10 @@ const (
 	CodeBudgetExhausted = "budget_exhausted"
 	CodeUnavailable     = "unavailable"
 	CodeInternal        = "internal"
+	// CodeConflict rejects a request that contradicts current state: a
+	// double freeze or stale publish in the shard epoch handshake, a
+	// duplicate fleet task ID. Typical status 409.
+	CodeConflict = "conflict"
 )
 
 // Error is the machine-readable error payload inside the envelope.

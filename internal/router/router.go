@@ -1,0 +1,658 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dynagg/dynagg/internal/hiddendb"
+	"github.com/dynagg/dynagg/internal/httpapi"
+	"github.com/dynagg/dynagg/internal/metrics"
+	"github.com/dynagg/dynagg/internal/schema"
+	"github.com/dynagg/dynagg/webiface"
+)
+
+// Options tunes a Router.
+type Options struct {
+	// Client is the base configuration for every shard connection
+	// (HTTPClient, Retries, RequestTimeout, MinInterval). ObserveResponse
+	// is reserved — the router installs its own epoch-watching hook.
+	Client webiface.ClientOptions
+	// PerKeyBudget caps the searches each API key may issue per epoch
+	// (0 = unlimited). The router owns budget accounting for the whole
+	// fleet; shard daemons behind it run unlimited.
+	PerKeyBudget int
+	// DegradedReads serves answers from the surviving shards when some
+	// fail, instead of failing the whole query fast with a 503 envelope.
+	// Degraded answers are complete over the reachable shards only and
+	// are counted in dynagg_router_degraded_answers_total.
+	DegradedReads bool
+	// AdminTimeout bounds each admin call of the handshake and the
+	// health probe (default 5s).
+	AdminTimeout time.Duration
+}
+
+// Router is one logical hidden database over a fleet of shard daemons.
+// It serves the full /v1/ surface of a shard-mode dynagg-serve — search,
+// schema, stats, healthz, metrics — answering every search by
+// scatter-gather under one pinned fleet epoch, with responses
+// byte-identical to a single process serving the union of the shards.
+//
+// Concurrency: serving fan-outs hold pinMu for read; the epoch handshake
+// holds it for write, so a query never straddles an epoch flip. Per-shard
+// connection state (health, last observed epoch) is atomic.
+type Router struct {
+	conns []*shardConn
+	opts  Options
+	sch   *schema.Schema
+	k     int
+	admin *http.Client
+
+	// pinMu pins the fleet epoch: fan-outs read-hold it, Handshake
+	// write-holds it across freeze+publish.
+	pinMu sync.RWMutex
+	seq   atomic.Uint64 // current fleet epoch sequence (0 = none published)
+
+	budgetMu     sync.Mutex
+	perKeyBudget int
+	used         map[string]int
+
+	queries    atomic.Uint64
+	fanouts    atomic.Uint64
+	failures   atomic.Uint64
+	degraded   atomic.Uint64
+	handshakes atomic.Uint64
+}
+
+// shardConn is the router's connection to one shard daemon.
+type shardConn struct {
+	base string
+	c    *webiface.Client
+
+	healthy  atomic.Bool
+	lastSeq  atomic.Uint64 // last epoch seq observed on a serving response
+	mismatch atomic.Bool   // sticky: served an epoch other than the pinned one
+
+	latMu    sync.Mutex
+	latCount uint64
+	latSum   time.Duration
+	latMax   time.Duration
+}
+
+// observe records one request's latency and epoch header.
+func (sc *shardConn) observeLatency(d time.Duration) {
+	sc.latMu.Lock()
+	sc.latCount++
+	sc.latSum += d
+	if d > sc.latMax {
+		sc.latMax = d
+	}
+	sc.latMu.Unlock()
+}
+
+func (sc *shardConn) latency() (count uint64, sum, max time.Duration) {
+	sc.latMu.Lock()
+	defer sc.latMu.Unlock()
+	return sc.latCount, sc.latSum, sc.latMax
+}
+
+// New dials every shard daemon, verifies they agree on schema and k, and
+// returns a router with no epoch pinned yet: call Handshake before
+// serving (searches answer 503 unavailable until the first handshake
+// lands).
+func New(shards []string, opts Options) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("router: no shard addresses")
+	}
+	if opts.AdminTimeout <= 0 {
+		opts.AdminTimeout = 5 * time.Second
+	}
+	rt := &Router{
+		opts:         opts,
+		admin:        &http.Client{Timeout: opts.AdminTimeout},
+		perKeyBudget: opts.PerKeyBudget,
+		used:         make(map[string]int),
+	}
+	// Every concurrent client request fans out to EVERY shard, so the
+	// shard connections see len(shards)× the router's own concurrency.
+	// The default transport keeps only 2 idle conns per host, which
+	// makes a loaded fan-out reconnect for almost every hop; give the
+	// fleet a transport sized for it unless the caller brought their own
+	// client.
+	if opts.Client.HTTPClient == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConns = 0 // no cap beyond the per-host one
+		tr.MaxIdleConnsPerHost = 256
+		rt.opts.Client.HTTPClient = &http.Client{Timeout: 30 * time.Second, Transport: tr}
+	}
+	for _, base := range shards {
+		sc := &shardConn{base: base}
+		copts := rt.opts.Client
+		copts.ObserveResponse = func(resp *http.Response) { rt.observeEpochHeader(sc, resp) }
+		c, err := webiface.Dial(base, copts)
+		if err != nil {
+			return nil, fmt.Errorf("router: shard %s: %w", base, err)
+		}
+		sc.c = c
+		sc.healthy.Store(true)
+		rt.conns = append(rt.conns, sc)
+	}
+	rt.sch = rt.conns[0].c.Schema()
+	rt.k = rt.conns[0].c.K()
+	for _, sc := range rt.conns[1:] {
+		if err := sameSchema(rt.sch, rt.k, sc.c.Schema(), sc.c.K()); err != nil {
+			return nil, fmt.Errorf("router: shard %s: %w", sc.base, err)
+		}
+	}
+	return rt, nil
+}
+
+// sameSchema rejects a fleet whose shards disagree on the serving
+// contract — merged answers would be meaningless.
+func sameSchema(a *schema.Schema, ak int, b *schema.Schema, bk int) error {
+	if ak != bk {
+		return fmt.Errorf("k mismatch: %d vs %d", bk, ak)
+	}
+	if a.M() != b.M() {
+		return fmt.Errorf("schema mismatch: %d attrs vs %d", b.M(), a.M())
+	}
+	for i := 0; i < a.M(); i++ {
+		x, y := a.Attr(i), b.Attr(i)
+		if x.Name != y.Name || x.Nullable != y.Nullable || len(x.Domain) != len(y.Domain) {
+			return fmt.Errorf("schema mismatch on attribute %d", i)
+		}
+		for j := range x.Domain {
+			if x.Domain[j] != y.Domain[j] {
+				return fmt.Errorf("schema mismatch on attribute %d", i)
+			}
+		}
+	}
+	return nil
+}
+
+// observeEpochHeader is the per-connection webiface ObserveResponse
+// hook: it records the epoch a serving response was answered from and
+// trips the sticky mismatch flag when it is not the pinned one — a shard
+// that restarted mid-flight is serving data the rest of the fleet has
+// moved past (or never reached), so its answers must not be merged.
+func (rt *Router) observeEpochHeader(sc *shardConn, resp *http.Response) {
+	h := resp.Header.Get(EpochHeader)
+	if h == "" {
+		return
+	}
+	seq, err := strconv.ParseUint(h, 10, 64)
+	if err != nil {
+		return
+	}
+	sc.lastSeq.Store(seq)
+	if pinned := rt.seq.Load(); pinned != 0 && seq != pinned {
+		sc.mismatch.Store(true)
+	}
+}
+
+// NumShards returns the fan-out width.
+func (rt *Router) NumShards() int { return len(rt.conns) }
+
+// Seq returns the currently pinned fleet epoch sequence (0 before the
+// first handshake).
+func (rt *Router) Seq() uint64 { return rt.seq.Load() }
+
+// K returns the fleet's top-k cap.
+func (rt *Router) K() int { return rt.k }
+
+// Schema returns the fleet schema.
+func (rt *Router) Schema() *schema.Schema { return rt.sch }
+
+// RetryCount sums retry attempts across all shard connections.
+func (rt *Router) RetryCount() uint64 {
+	var n uint64
+	for _, sc := range rt.conns {
+		n += sc.c.RetryCount()
+	}
+	return n
+}
+
+// SetPerKeyBudget caps the searches each API key may issue per epoch
+// (g <= 0 means unlimited).
+func (rt *Router) SetPerKeyBudget(g int) {
+	rt.budgetMu.Lock()
+	defer rt.budgetMu.Unlock()
+	rt.perKeyBudget = g
+}
+
+// ResetBudgets starts a new round: every key's budget is restored. A
+// successful Handshake calls it — fleet epochs are the router's rounds.
+func (rt *Router) ResetBudgets() {
+	rt.budgetMu.Lock()
+	defer rt.budgetMu.Unlock()
+	rt.used = make(map[string]int)
+}
+
+func (rt *Router) consumeBudget(key string) bool {
+	rt.budgetMu.Lock()
+	defer rt.budgetMu.Unlock()
+	if rt.perKeyBudget > 0 && rt.used[key] >= rt.perKeyBudget {
+		return false
+	}
+	rt.used[key]++
+	return true
+}
+
+// ServeHTTP serves the same /v1/ surface as a shard daemon's serving
+// handler, plus nothing else: the admin wire is shard-side only.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/v1/schema":
+		rt.serveSchema(w)
+	case "/v1/search":
+		if r.Method == http.MethodPost {
+			rt.serveSearchBatch(w, r)
+			return
+		}
+		rt.serveSearch(w, r)
+	case "/v1/stats":
+		rt.serveStats(w)
+	case "/v1/healthz":
+		rt.serveHealthz(w)
+	case "/v1/metrics":
+		rt.serveMetrics(w)
+	default:
+		httpapi.WriteError(w, http.StatusNotFound, httpapi.CodeNotFound, "no such route: "+r.URL.Path)
+	}
+}
+
+// The wire structs mirror webiface's unexported ones field-for-field so
+// encoding/json renders byte-identical bodies.
+
+type wireSchema struct {
+	K     int        `json:"k"`
+	Attrs []wireAttr `json:"attrs"`
+}
+
+type wireAttr struct {
+	Name     string   `json:"name"`
+	Domain   []string `json:"domain"`
+	Nullable bool     `json:"nullable,omitempty"`
+}
+
+type wireStats struct {
+	K       int    `json:"k"`
+	Queries uint64 `json:"queries"`
+	Version uint64 `json:"version"`
+}
+
+type wireBatchRequest struct {
+	Queries []wireBatchQuery `json:"queries"`
+}
+
+type wireBatchQuery struct {
+	Where []string `json:"where"`
+}
+
+func (rt *Router) serveSchema(w http.ResponseWriter) {
+	out := wireSchema{K: rt.k}
+	for i := 0; i < rt.sch.M(); i++ {
+		a := rt.sch.Attr(i)
+		out.Attrs = append(out.Attrs, wireAttr{Name: a.Name, Domain: a.Domain, Nullable: a.Nullable})
+	}
+	writeJSON(w, out)
+}
+
+func (rt *Router) serveStats(w http.ResponseWriter) {
+	writeJSON(w, wireStats{K: rt.k, Queries: rt.queries.Load(), Version: rt.seq.Load()})
+}
+
+// wireHealth is the router's /v1/healthz body: the serve handler's
+// status/api_version plus fleet visibility.
+type wireHealth struct {
+	Status        string `json:"status"`
+	APIVersion    string `json:"api_version"`
+	Epoch         uint64 `json:"epoch"`
+	ShardsHealthy int    `json:"shards_healthy"`
+	ShardsTotal   int    `json:"shards_total"`
+}
+
+func (rt *Router) serveHealthz(w http.ResponseWriter) {
+	healthy := 0
+	for _, sc := range rt.conns {
+		if sc.healthy.Load() && !sc.mismatch.Load() {
+			healthy++
+		}
+	}
+	status := "ok"
+	if healthy < len(rt.conns) || rt.seq.Load() == 0 {
+		status = "degraded"
+	}
+	httpapi.WriteJSON(w, http.StatusOK, wireHealth{
+		Status:        status,
+		APIVersion:    httpapi.Version,
+		Epoch:         rt.seq.Load(),
+		ShardsHealthy: healthy,
+		ShardsTotal:   len(rt.conns),
+	})
+}
+
+func (rt *Router) serveMetrics(w http.ResponseWriter) {
+	rt.budgetMu.Lock()
+	budget := rt.perKeyBudget
+	used := make(map[string]int, len(rt.used))
+	for k, v := range rt.used {
+		used[k] = v
+	}
+	rt.budgetMu.Unlock()
+
+	var b metrics.Builder
+	b.Family("dynagg_router_queries_total", "counter", "Queries answered (or failed) by the router across all clients.")
+	b.Value("dynagg_router_queries_total", float64(rt.queries.Load()))
+	b.Family("dynagg_router_fanouts_total", "counter", "Scatter-gather fan-outs issued to the shard fleet.")
+	b.Value("dynagg_router_fanouts_total", float64(rt.fanouts.Load()))
+	b.Family("dynagg_router_retries_total", "counter", "Shard request retry attempts across all connections.")
+	b.Value("dynagg_router_retries_total", float64(rt.RetryCount()))
+	b.Family("dynagg_router_failures_total", "counter", "Queries failed with an unavailable envelope (shard outage, epoch mismatch).")
+	b.Value("dynagg_router_failures_total", float64(rt.failures.Load()))
+	b.Family("dynagg_router_degraded_answers_total", "counter", "Answers served from a partial fleet under degraded-reads mode.")
+	b.Value("dynagg_router_degraded_answers_total", float64(rt.degraded.Load()))
+	b.Family("dynagg_router_handshakes_total", "counter", "Fleet epoch handshakes attempted.")
+	b.Value("dynagg_router_handshakes_total", float64(rt.handshakes.Load()))
+	b.Family("dynagg_router_epoch_seq", "gauge", "Currently pinned fleet epoch sequence (0 = none).")
+	b.Value("dynagg_router_epoch_seq", float64(rt.seq.Load()))
+	b.Family("dynagg_router_shard_healthy", "gauge", "Per-shard health (1 = reachable and serving the pinned epoch).")
+	for i, sc := range rt.conns {
+		v := 0
+		if sc.healthy.Load() && !sc.mismatch.Load() {
+			v = 1
+		}
+		b.Int("dynagg_router_shard_healthy", v, "shard", strconv.Itoa(i))
+	}
+	b.Family("dynagg_router_shard_requests_total", "counter", "Requests issued to each shard.")
+	b.Family("dynagg_router_shard_latency_seconds_sum", "counter", "Total request latency per shard.")
+	b.Family("dynagg_router_shard_latency_seconds_max", "gauge", "Maximum request latency per shard.")
+	for i, sc := range rt.conns {
+		count, sum, max := sc.latency()
+		l := strconv.Itoa(i)
+		b.Value("dynagg_router_shard_requests_total", float64(count), "shard", l)
+		b.Value("dynagg_router_shard_latency_seconds_sum", sum.Seconds(), "shard", l)
+		b.Value("dynagg_router_shard_latency_seconds_max", max.Seconds(), "shard", l)
+	}
+	b.Family("dynagg_router_per_key_budget", "gauge", "Per-API-key query budget per epoch (0 = unlimited).")
+	b.Int("dynagg_router_per_key_budget", budget)
+	b.Family("dynagg_router_key_queries_used", "gauge", "Queries charged to each API key this epoch.")
+	for _, k := range metrics.SortedKeys(used) {
+		b.Int("dynagg_router_key_queries_used", used[k], "key", k)
+	}
+	w.Header().Set("Content-Type", metrics.ContentType)
+	_, _ = b.WriteTo(w)
+}
+
+// apiKey mirrors the serve handler's client identification.
+func apiKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	return r.URL.Query().Get("key")
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// unavailable writes the fail-fast envelope for a fleet that cannot
+// answer coherently right now.
+func (rt *Router) unavailable(w http.ResponseWriter, msg string) {
+	rt.failures.Add(1)
+	httpapi.WriteError(w, http.StatusServiceUnavailable, httpapi.CodeUnavailable, msg)
+}
+
+// serveSearch answers a single GET query by scatter-gather: parse and
+// charge exactly like a shard daemon would, fan the query out under the
+// pinned epoch, merge the per-shard top-k partials, re-encode with the
+// shared wire encoder. The response bytes are identical to a single
+// process serving the union of the shards.
+func (rt *Router) serveSearch(w http.ResponseWriter, r *http.Request) {
+	vals := r.URL.Query()
+	q, err := webiface.ParseWhere(rt.sch, vals["where"])
+	if err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
+		return
+	}
+	key := r.Header.Get("X-API-Key")
+	if key == "" {
+		key = vals.Get("key")
+	}
+	if !rt.consumeBudget(key) {
+		httpapi.WriteError(w, http.StatusTooManyRequests, httpapi.CodeBudgetExhausted,
+			"per-round query budget exhausted")
+		return
+	}
+	rt.queries.Add(1)
+	partials, err := rt.fanOut(r.Context(), func(ctx context.Context, sc *shardConn) (hiddendb.Result, error) {
+		return sc.c.SearchContext(ctx, q)
+	})
+	if err != nil {
+		rt.unavailable(w, err.Error())
+		return
+	}
+	merged := hiddendb.MergePartials(partials, rt.k, nil)
+	buf := webiface.AppendWireResult(nil, rt.k, merged)
+	buf = append(buf, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf)
+}
+
+// fanOut runs one request against every shard under the pinned epoch,
+// returning the per-shard partial results in shard order. A shard that
+// errors, or whose response carried a different epoch than the pinned
+// one, fails the whole fan-out — unless degraded reads are on, in which
+// case its partial is simply dropped.
+func (rt *Router) fanOut(ctx context.Context, call func(context.Context, *shardConn) (hiddendb.Result, error)) ([]hiddendb.Result, error) {
+	rt.pinMu.RLock()
+	defer rt.pinMu.RUnlock()
+	pinned := rt.seq.Load()
+	if pinned == 0 {
+		return nil, fmt.Errorf("no fleet epoch published yet (handshake pending)")
+	}
+	rt.fanouts.Add(1)
+	results := make([]hiddendb.Result, len(rt.conns))
+	errs := make([]error, len(rt.conns))
+	var wg sync.WaitGroup
+	for i, sc := range rt.conns {
+		wg.Add(1)
+		go func(i int, sc *shardConn) {
+			defer wg.Done()
+			start := time.Now()
+			results[i], errs[i] = call(ctx, sc)
+			sc.observeLatency(time.Since(start))
+		}(i, sc)
+	}
+	wg.Wait()
+	partials := make([]hiddendb.Result, 0, len(rt.conns))
+	dropped := 0
+	var firstErr error
+	for i, sc := range rt.conns {
+		switch {
+		case errs[i] != nil:
+			sc.healthy.Store(false)
+			dropped++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d (%s): %v", i, sc.base, errs[i])
+			}
+		case sc.mismatch.Load():
+			dropped++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d (%s): answered epoch %d, fleet pinned %d (re-handshake required)",
+					i, sc.base, sc.lastSeq.Load(), pinned)
+			}
+		default:
+			sc.healthy.Store(true)
+			partials = append(partials, results[i])
+		}
+	}
+	if dropped > 0 {
+		if !rt.opts.DegradedReads {
+			return nil, firstErr
+		}
+		rt.degraded.Add(1)
+	}
+	return partials, nil
+}
+
+// serveSearchBatch answers a batched POST by scatter-gather: the whole
+// batch is validated and budget-charged exactly like a shard daemon
+// would, then the covered queries go to every shard as ONE batched POST
+// each — so the fleet answers the batch under one epoch pin per shard
+// and one pinned fleet epoch overall — and the per-query partials are
+// merged and spliced into the same response bytes a single process
+// produces.
+func (rt *Router) serveSearchBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, "batch decode: "+err.Error())
+		return
+	}
+	var req wireBatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, "batch decode: "+err.Error())
+		return
+	}
+	qs := make([]hiddendb.Query, len(req.Queries))
+	for i, wq := range req.Queries {
+		q, err := webiface.ParseWhere(rt.sch, wq.Where)
+		if err != nil {
+			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+				fmt.Sprintf("query %d: %s", i, err))
+			return
+		}
+		qs[i] = q
+	}
+	key := apiKey(r)
+	charged := make([]hiddendb.Query, 0, len(qs))
+	chargedIdx := make([]int, 0, len(qs))
+	inBudget := make([]bool, len(qs))
+	for i, q := range qs {
+		if !rt.consumeBudget(key) {
+			continue
+		}
+		inBudget[i] = true
+		charged = append(charged, q)
+		chargedIdx = append(chargedIdx, i)
+	}
+	rt.queries.Add(uint64(len(qs)))
+
+	merged := make([]hiddendb.Result, len(qs))
+	if len(charged) > 0 {
+		partials, err := rt.fanOutBatch(r.Context(), charged)
+		if err != nil {
+			rt.unavailable(w, err.Error())
+			return
+		}
+		scratch := make([]hiddendb.Result, 0, len(partials))
+		for j, idx := range chargedIdx {
+			scratch = scratch[:0]
+			for _, shardItems := range partials {
+				scratch = append(scratch, shardItems[j])
+			}
+			merged[idx] = hiddendb.MergePartials(scratch, rt.k, nil)
+		}
+	}
+
+	buf := append(make([]byte, 0, 4096), `{"k":`...)
+	buf = strconv.AppendInt(buf, int64(rt.k), 10)
+	buf = append(buf, `,"results":[`...)
+	for i := range qs {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		if !inBudget[i] {
+			buf = append(buf, webiface.BatchBudgetErrJSON...)
+			continue
+		}
+		buf = append(buf, `{"result":`...)
+		buf = webiface.AppendWireResult(buf, rt.k, merged[i])
+		buf = append(buf, '}')
+	}
+	buf = append(buf, `]}`...)
+	buf = append(buf, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf)
+}
+
+// fanOutBatch sends the covered queries to every shard as one batched
+// POST each, returning per-shard slices of per-query partial results
+// (surviving shards only, shard order preserved). Failure semantics
+// match fanOut; a per-item error inside an otherwise-successful batch
+// (which the router's unlimited shard budgets should never produce)
+// fails that shard too.
+func (rt *Router) fanOutBatch(ctx context.Context, charged []hiddendb.Query) ([][]hiddendb.Result, error) {
+	type shardBatch struct {
+		items []hiddendb.BatchItem
+		err   error
+	}
+	rt.pinMu.RLock()
+	defer rt.pinMu.RUnlock()
+	pinned := rt.seq.Load()
+	if pinned == 0 {
+		return nil, fmt.Errorf("no fleet epoch published yet (handshake pending)")
+	}
+	rt.fanouts.Add(1)
+	outs := make([]shardBatch, len(rt.conns))
+	var wg sync.WaitGroup
+	for i, sc := range rt.conns {
+		wg.Add(1)
+		go func(i int, sc *shardConn) {
+			defer wg.Done()
+			start := time.Now()
+			outs[i].items, outs[i].err = sc.c.SearchBatchContext(ctx, charged)
+			sc.observeLatency(time.Since(start))
+		}(i, sc)
+	}
+	wg.Wait()
+	partials := make([][]hiddendb.Result, 0, len(rt.conns))
+	dropped := 0
+	var firstErr error
+	for i, sc := range rt.conns {
+		err := outs[i].err
+		if err == nil {
+			for _, it := range outs[i].items {
+				if it.Err != nil {
+					err = fmt.Errorf("batch item: %w", it.Err)
+					break
+				}
+			}
+		}
+		switch {
+		case err != nil:
+			sc.healthy.Store(false)
+			dropped++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d (%s): %v", i, sc.base, err)
+			}
+		case sc.mismatch.Load():
+			dropped++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d (%s): answered epoch %d, fleet pinned %d (re-handshake required)",
+					i, sc.base, sc.lastSeq.Load(), pinned)
+			}
+		default:
+			sc.healthy.Store(true)
+			rs := make([]hiddendb.Result, len(outs[i].items))
+			for j, it := range outs[i].items {
+				rs[j] = it.Result
+			}
+			partials = append(partials, rs)
+		}
+	}
+	if dropped > 0 {
+		if !rt.opts.DegradedReads {
+			return nil, firstErr
+		}
+		rt.degraded.Add(1)
+	}
+	return partials, nil
+}

@@ -71,6 +71,14 @@ func (h *Handler) encodeResult(res hiddendb.Result) []byte {
 	return out
 }
 
+// AppendWireResult appends the wire JSON encoding of a search answer to
+// dst. It is the exported face of the serving encoder for other wire
+// speakers — the multi-process router re-encodes its merged answers with
+// it so router responses are byte-identical to single-process serving.
+func AppendWireResult(dst []byte, k int, res hiddendb.Result) []byte {
+	return appendWireResult(dst, k, res)
+}
+
 // appendWireResult appends the JSON encoding of a search answer —
 // byte-identical to encoding/json marshalling the equivalent wireResult
 // (nil tuple slice encodes as null, aux is omitempty, floats use the

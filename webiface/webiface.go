@@ -44,6 +44,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/dynagg/dynagg/internal/hiddendb"
@@ -301,10 +302,12 @@ func (h *Handler) serveSchema(w http.ResponseWriter) {
 	writeJSON(w, out)
 }
 
-// parseWhere validates and assembles one query's "attr:value" predicate
-// strings. NewQuery panics on duplicates (trusted-caller API), so
-// untrusted wire input is rejected before it gets there.
-func (h *Handler) parseWhere(where []string) (hiddendb.Query, error) {
+// ParseWhere validates and assembles one query's "attr:value" predicate
+// strings against a schema. NewQuery panics on duplicates (trusted-caller
+// API), so untrusted wire input is rejected before it gets there. The
+// router reuses it so router-side parse errors are byte-identical to a
+// shard's.
+func ParseWhere(sch *schema.Schema, where []string) (hiddendb.Query, error) {
 	var preds []hiddendb.Pred
 	seen := make(map[int]bool)
 	for _, raw := range where {
@@ -312,7 +315,7 @@ func (h *Handler) parseWhere(where []string) (hiddendb.Query, error) {
 		if err != nil {
 			return hiddendb.Query{}, err
 		}
-		if attr < 0 || attr >= h.b.Schema().M() {
+		if attr < 0 || attr >= sch.M() {
 			return hiddendb.Query{}, fmt.Errorf("unknown attribute %d", attr)
 		}
 		if seen[attr] {
@@ -322,6 +325,10 @@ func (h *Handler) parseWhere(where []string) (hiddendb.Query, error) {
 		preds = append(preds, hiddendb.Pred{Attr: attr, Val: val})
 	}
 	return hiddendb.NewQuery(preds...), nil
+}
+
+func (h *Handler) parseWhere(where []string) (hiddendb.Query, error) {
+	return ParseWhere(h.b.Schema(), where)
 }
 
 func (h *Handler) wireResultOf(res hiddendb.Result) wireResult {
@@ -376,10 +383,11 @@ func (h *Handler) serveSearch(w http.ResponseWriter, r *http.Request) {
 // after that, queries are charged in order and the ones the per-key
 // budget cannot cover come back as per-item budget_exhausted errors while
 // the covered ones are answered together via Backend.SearchBatch.
-// batchBudgetErrJSON is the pre-rendered wireBatchItem for a query the
+// BatchBudgetErrJSON is the pre-rendered wireBatchItem for a query the
 // per-key budget could not cover — byte-identical to encoding/json over
-// the equivalent envelope payload.
-const batchBudgetErrJSON = `{"error":{"code":"` + httpapi.CodeBudgetExhausted +
+// the equivalent envelope payload. Exported so the router splices the
+// same bytes for its own per-key budget.
+const BatchBudgetErrJSON = `{"error":{"code":"` + httpapi.CodeBudgetExhausted +
 	`","message":"per-round query budget exhausted"}}`
 
 // decodeBatch unmarshals a batch body into the pooled scratch's request
@@ -444,7 +452,7 @@ func (h *Handler) serveSearchBatch(w http.ResponseWriter, r *http.Request) {
 			buf = append(buf, ',')
 		}
 		if !inBudget[i] {
-			buf = append(buf, batchBudgetErrJSON...)
+			buf = append(buf, BatchBudgetErrJSON...)
 			continue
 		}
 		buf = append(buf, `{"result":`...)
@@ -509,6 +517,12 @@ type ClientOptions struct {
 	Request RequestFunc
 	// Parse decodes responses.
 	Parse ParseFunc
+	// ObserveResponse, when set, is called with every HTTP response the
+	// native wire receives, after transport success and before status
+	// classification. The multi-process router uses it to watch the
+	// X-Dynagg-Epoch header shard daemons attach to their answers. The
+	// hook must not read or close the body.
+	ObserveResponse func(*http.Response)
 }
 
 // Client is a hiddendb.Searcher over HTTP. It is safe for concurrent use
@@ -528,7 +542,16 @@ type Client struct {
 
 	mu     sync.Mutex // guards nextAt
 	nextAt time.Time
+
+	// retries counts request attempts beyond each call's first — the
+	// router's observability surface for shard flakiness.
+	retries atomic.Uint64
 }
+
+// RetryCount returns the total number of retry attempts this client has
+// made across all calls (first attempts are free; every backoff-and-
+// retry adds one).
+func (c *Client) RetryCount() uint64 { return c.retries.Load() }
 
 // BudgetExhaustedError reports an HTTP 429 from the remote database: the
 // server-side per-key round budget G is spent. It unwraps to
@@ -614,6 +637,7 @@ func (c *Client) SearchContext(ctx context.Context, q hiddendb.Query) (hiddendb.
 	backoff := 100 * time.Millisecond
 	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
 		if attempt > 0 {
+			c.retries.Add(1)
 			if err := sleepCtx(ctx, backoff); err != nil {
 				return hiddendb.Result{}, err
 			}
@@ -665,6 +689,7 @@ func (c *Client) SearchBatchContext(ctx context.Context, qs []hiddendb.Query) ([
 	backoff := 100 * time.Millisecond
 	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
 		if attempt > 0 {
+			c.retries.Add(1)
 			if err := sleepCtx(ctx, backoff); err != nil {
 				return nil, err
 			}
@@ -721,6 +746,9 @@ func (c *Client) batchAttempt(ctx context.Context, qs []hiddendb.Query) (items [
 		return nil, true, err
 	}
 	defer resp.Body.Close()
+	if c.opts.ObserveResponse != nil {
+		c.opts.ObserveResponse(resp)
+	}
 	switch {
 	case resp.StatusCode == http.StatusTooManyRequests:
 		return nil, false, &BudgetExhaustedError{Status: resp.Status}
@@ -777,6 +805,9 @@ func (c *Client) attempt(ctx context.Context, q hiddendb.Query) (res hiddendb.Re
 		return hiddendb.Result{}, true, err
 	}
 	defer resp.Body.Close()
+	if c.opts.ObserveResponse != nil {
+		c.opts.ObserveResponse(resp)
+	}
 	switch {
 	case resp.StatusCode == http.StatusTooManyRequests:
 		return hiddendb.Result{}, false, &BudgetExhaustedError{Status: resp.Status}
