@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-serving bench-load bench-load-router bench-smoke fmt fmt-check vet ci
+.PHONY: build test race bench bench-serving bench-load bench-load-router bench-smoke fmt fmt-check vet promcheck ci
 
 build:
 	$(GO) build ./...
@@ -37,7 +37,16 @@ fmt-check:
 race:
 	$(GO) test -race ./internal/experiments/ ./internal/estimator/ \
 		./internal/tracking/ ./internal/fleet/ ./internal/hiddendb/ \
-		./internal/router/ ./webiface/
+		./internal/router/ ./webiface/ ./internal/obs/ \
+		./internal/metrics/promcheck/
+
+# promcheck scrapes the LIVE /v1/metrics of all four daemons' handlers
+# (serve, track, fleet, router) and holds each document to the strict
+# Prometheus text-format validator: HELP/TYPE pairing, label syntax,
+# monotone cumulative buckets, le="+Inf" closure. Run uncached so the
+# scrape re-executes on every CI invocation.
+promcheck:
+	$(GO) test -count=1 ./internal/metrics/ ./internal/metrics/promcheck/
 
 # bench regenerates every figure and reports the headline metrics, then
 # refreshes the machine-readable serving-benchmark record.
@@ -102,4 +111,4 @@ bench-load-router:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-ci: build test vet fmt-check race bench-smoke
+ci: build test vet fmt-check promcheck race bench-smoke

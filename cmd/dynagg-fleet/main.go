@@ -42,7 +42,8 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -51,9 +52,16 @@ import (
 
 	dynagg "github.com/dynagg/dynagg"
 	"github.com/dynagg/dynagg/internal/fleet"
+	"github.com/dynagg/dynagg/internal/obs"
 	"github.com/dynagg/dynagg/internal/tracking"
 	"github.com/dynagg/dynagg/webiface"
 )
+
+// fatal reports a startup error through the structured logger and exits.
+func fatal(log *slog.Logger, msg string, err error) {
+	log.Error(msg, "error", err)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -75,8 +83,18 @@ func main() {
 		// Shared remote-client defaults (per-task api_key overrides the key).
 		minInterval = flag.Duration("min-interval", 0, "remote clients: minimum spacing between requests")
 		reqTimeout  = flag.Duration("timeout", 15*time.Second, "remote clients: per-request timeout")
+
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		pprofAddr = flag.String("pprof-addr", "", "optional admin listener serving net/http/pprof (empty = disabled)")
 	)
 	flag.Parse()
+	logger, err := obs.NewLogger(*logFormat, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+	obs.ServePprof(*pprofAddr, logger)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -84,7 +102,7 @@ func main() {
 	data := dynagg.AutosLikeN(*localSeed+100, *localN, *localM)
 	env, err := dynagg.NewEnv(data, *localN*9/10, *localSeed+101)
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, "env", err)
 	}
 	iface := dynagg.NewIface(env.Store, *localK, nil)
 	local := fleet.Target{
@@ -101,7 +119,7 @@ func main() {
 			if err := env.DeleteFraction(*localDelete); err != nil {
 				return err
 			}
-			log.Printf("local churn: |D|=%d version=%d", env.Store.Size(), env.Store.Version())
+			logger.Info("local churn applied", "size", env.Store.Size(), "version", env.Store.Version())
 			return nil
 		},
 	}
@@ -118,31 +136,32 @@ func main() {
 		},
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, "fleet manager", err)
 	}
 	if st := mgr.Status(); st.TaskCount > 0 || len(st.FailedTasks) > 0 {
-		log.Printf("restored %d tasks from %s (tick %d)", st.TaskCount, *dir, mgr.Ticks())
+		logger.Info("fleet restored", "tasks", st.TaskCount, "dir", *dir, "tick", mgr.Ticks())
 		for _, f := range st.FailedTasks {
-			log.Printf("  task %s NOT restored: %s (kept in state; POST the spec again or DELETE it)", f.ID, f.Error)
+			logger.Warn("task not restored; kept in state (POST the spec again or DELETE it)",
+				"task", f.ID, "error", f.Error)
 		}
 	}
 
 	if *manifest != "" {
 		raw, err := os.ReadFile(*manifest)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "manifest", err)
 		}
 		var specs []fleet.TaskSpec
 		if err := json.Unmarshal(raw, &specs); err != nil {
-			log.Fatalf("manifest decode: %v", err)
+			fatal(logger, "manifest decode", err)
 		}
 		added := 0
 		for _, spec := range specs {
 			if _, exists := mgr.TaskView(spec.ID); exists {
 				// The restored spec wins over the manifest entry — edits to
 				// a live task's manifest line do NOT apply on restart.
-				log.Printf("manifest: task %s already restored from %s; manifest entry ignored (delete the task to apply manifest changes)",
-					spec.ID, *dir)
+				logger.Info("manifest entry ignored: task already restored (delete the task to apply manifest changes)",
+					"task", spec.ID, "dir", *dir)
 				continue
 			}
 			if err := mgr.Add(spec); err != nil {
@@ -150,20 +169,20 @@ func main() {
 				// rest of the fleet down — mirror the restore path's
 				// tolerate-and-surface behaviour. POST the spec once the
 				// target recovers, or fix the manifest and restart.
-				log.Printf("manifest task %s NOT added: %v", spec.ID, err)
+				logger.Warn("manifest task not added", "task", spec.ID, "error", err)
 				continue
 			}
 			added++
 		}
-		log.Printf("manifest: %d tasks added from %s", added, *manifest)
+		logger.Info("manifest loaded", "added", added, "path", *manifest)
 	}
 
 	if *addr != "" {
 		srv := &http.Server{Addr: *addr, Handler: mgr.Handler()}
 		go func() {
-			log.Printf("control plane on %s (/status /tasks /metrics /healthz)", *addr)
+			logger.Info("control plane listening", "addr", *addr)
 			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("control plane: %v", err)
+				logger.Error("control plane failed", "error", err)
 			}
 		}()
 		defer func() {
@@ -173,18 +192,20 @@ func main() {
 		}()
 	}
 
-	log.Printf("fleet scheduler: tick every %s, tick budget %d, %d tasks",
-		*tick, *tickBudget, mgr.Status().TaskCount)
+	logger.Info("fleet scheduler started",
+		"tick", (*tick).String(), "tick_budget", *tickBudget, "tasks", mgr.Status().TaskCount)
 	if err := mgr.Run(ctx); err != nil {
-		log.Fatal(err)
+		fatal(logger, "run", err)
 	}
 	st := mgr.Status()
-	log.Printf("stopped at tick %d: %d tasks, %d rounds, %d queries (%d wasted)",
-		st.Ticks, st.TaskCount, st.RoundsTotal, st.QueriesTotal, st.WastedTotal)
+	logger.Info("fleet stopped",
+		"tick", st.Ticks, "tasks", st.TaskCount, "rounds", st.RoundsTotal,
+		"queries", st.QueriesTotal, "wasted", st.WastedTotal)
 	for _, t := range st.Tasks {
 		for _, e := range t.View.Estimates {
 			if e.OK {
-				log.Printf("  %s: %s = %.1f (round %d)", t.ID, e.Aggregate, e.Value, t.View.Round)
+				logger.Info("final estimate",
+					"task", t.ID, "aggregate", e.Aggregate, "value", e.Value, "round", t.View.Round)
 			}
 		}
 	}

@@ -52,6 +52,7 @@ import (
 
 	dynagg "github.com/dynagg/dynagg"
 	"github.com/dynagg/dynagg/internal/hiddendb"
+	"github.com/dynagg/dynagg/internal/obs"
 	"github.com/dynagg/dynagg/internal/router"
 	"github.com/dynagg/dynagg/internal/schema"
 	"github.com/dynagg/dynagg/webiface"
@@ -252,6 +253,40 @@ type passResult struct {
 	P95Ms         float64 `json:"p95_ms"`
 	P99Ms         float64 `json:"p99_ms"`
 	MaxMs         float64 `json:"max_ms"`
+	// Histogram is the pass's full latency distribution in the shared
+	// fixed obs bucket layout (log2 bounds), so offline analysis can
+	// derive any percentile and compare runs bucket-for-bucket.
+	Histogram *latencyHistogram `json:"latency_histogram,omitempty"`
+}
+
+// latencyHistogram serialises one pass's latency distribution:
+// per-bucket (non-cumulative) counts over the fixed internal/obs bounds,
+// with the overflow bucket last.
+type latencyHistogram struct {
+	UpperBoundsMs []float64 `json:"upper_bounds_ms"`
+	Counts        []uint64  `json:"counts"`
+	Count         uint64    `json:"count"`
+	SumMs         float64   `json:"sum_ms"`
+}
+
+// newLatencyHistogram folds the recorded latencies into the obs layout.
+func newLatencyHistogram(durs []time.Duration) *latencyHistogram {
+	var h obs.Histogram
+	for _, d := range durs {
+		h.Observe(d)
+	}
+	s := h.Snapshot()
+	bounds := obs.Bounds()
+	ms := make([]float64, len(bounds))
+	for i, b := range bounds {
+		ms[i] = b * 1000
+	}
+	return &latencyHistogram{
+		UpperBoundsMs: ms,
+		Counts:        s.Counts,
+		Count:         s.Count,
+		SumMs:         s.SumSeconds * 1000,
+	}
 }
 
 type coldHotRatio struct {
@@ -565,6 +600,7 @@ func runPass(cfg config, target string, name string, m *mix) (*passResult, error
 	if len(all) > 0 {
 		out.MaxMs = float64(all[len(all)-1]) / float64(time.Millisecond)
 	}
+	out.Histogram = newLatencyHistogram(all)
 	return out, nil
 }
 

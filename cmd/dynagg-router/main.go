@@ -27,7 +27,8 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -35,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/dynagg/dynagg/internal/obs"
 	"github.com/dynagg/dynagg/internal/router"
 	"github.com/dynagg/dynagg/webiface"
 )
@@ -49,8 +51,19 @@ func main() {
 		retries    = flag.Int("retries", 2, "per-shard request retries with exponential backoff")
 		timeout    = flag.Duration("timeout", 5*time.Second, "per-shard request attempt timeout")
 		degraded   = flag.Bool("degraded", false, "serve from surviving shards when some fail, instead of failing fast with an unavailable envelope")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+		pprofAddr  = flag.String("pprof-addr", "", "optional admin listener serving net/http/pprof (empty = disabled)")
+		debugReqs  = flag.Int("debug-requests", webiface.DefaultDebugRequests, "size of the /v1/debug/requests ring (<= 0 disables)")
+		slowReq    = flag.Duration("slow-request", webiface.DefaultSlowRequest, "record successful requests at or above this latency in the debug ring (<= 0 records every request)")
 	)
 	flag.Parse()
+	logger, err := obs.NewLogger(*logFormat, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+	obs.ServePprof(*pprofAddr, logger)
 	bases := strings.Split(*shards, ",")
 	clean := bases[:0]
 	for _, b := range bases {
@@ -59,7 +72,8 @@ func main() {
 		}
 	}
 	if len(clean) == 0 {
-		log.Fatal("dynagg-router: -shards is required (comma-separated shard base URLs)")
+		logger.Error("-shards is required (comma-separated shard base URLs)")
+		os.Exit(1)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -77,11 +91,14 @@ func main() {
 			PerKeyBudget:  *budget,
 			DegradedReads: *degraded,
 			AdminTimeout:  *timeout,
+			DebugRequests: *debugReqs,
+			SlowRequest:   *slowReq,
+			Logger:        logger,
 		})
 		if err == nil {
 			break
 		}
-		log.Printf("dial fleet: %v (retrying)", err)
+		logger.Warn("dial fleet failed; retrying", "error", err)
 		select {
 		case <-ctx.Done():
 			return
@@ -93,10 +110,10 @@ func main() {
 	for {
 		seq, err := rt.Handshake(ctx)
 		if err == nil {
-			log.Printf("fleet epoch %d published across %d shards", seq, rt.NumShards())
+			logger.Info("fleet epoch published", "epoch", seq, "shards", rt.NumShards())
 			break
 		}
-		log.Printf("startup handshake: %v (retrying)", err)
+		logger.Warn("startup handshake failed; retrying", "error", err)
 		select {
 		case <-ctx.Done():
 			return
@@ -115,9 +132,9 @@ func main() {
 				case <-t.C:
 				}
 				if seq, err := rt.Handshake(ctx); err != nil {
-					log.Printf("epoch handshake: %v", err)
+					logger.Error("epoch handshake failed", "error", err)
 				} else {
-					log.Printf("fleet epoch %d published", seq)
+					logger.Info("fleet epoch published", "epoch", seq)
 				}
 			}
 		}()
@@ -135,16 +152,16 @@ func main() {
 				}
 				rep := rt.ProbeOnce(ctx)
 				if rep.Unreachable > 0 || rep.Mismatched > 0 {
-					log.Printf("probe: %d healthy, %d unreachable, %d on stale epochs",
-						rep.Healthy, rep.Unreachable, rep.Mismatched)
+					logger.Warn("probe found unhealthy shards",
+						"healthy", rep.Healthy, "unreachable", rep.Unreachable, "stale_epoch", rep.Mismatched)
 				}
 				if rep.NeedsHandshake() && rep.Unreachable == 0 {
 					// A restarted shard is back but serving its own epoch;
 					// re-align the fleet so its answers count again.
 					if seq, err := rt.Handshake(ctx); err != nil {
-						log.Printf("re-handshake: %v", err)
+						logger.Error("re-handshake failed", "error", err)
 					} else {
-						log.Printf("fleet re-aligned at epoch %d", seq)
+						logger.Info("fleet re-aligned", "epoch", seq)
 					}
 				}
 			}
@@ -157,14 +174,16 @@ func main() {
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
-			log.Printf("shutdown: %v", err)
+			logger.Error("shutdown", "error", err)
 		}
 	}()
 
-	log.Printf("routing %d shards on %s (k=%d, budget=%d, epoch-every=%s, degraded=%v)",
-		rt.NumShards(), *addr, rt.K(), *budget, *epochEvery, *degraded)
+	logger.Info("routing fleet",
+		"addr", *addr, "shards", rt.NumShards(), "k", rt.K(), "budget", *budget,
+		"epoch_every", (*epochEvery).String(), "degraded", *degraded)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		logger.Error("listen", "error", err)
+		os.Exit(1)
 	}
-	log.Printf("drained; bye (epoch %d)", rt.Seq())
+	logger.Info("drained; bye", "epoch", rt.Seq())
 }

@@ -37,7 +37,8 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -45,9 +46,16 @@ import (
 	"time"
 
 	dynagg "github.com/dynagg/dynagg"
+	"github.com/dynagg/dynagg/internal/obs"
 	"github.com/dynagg/dynagg/internal/router"
 	"github.com/dynagg/dynagg/webiface"
 )
+
+// fatal reports a startup error through the structured logger and exits.
+func fatal(log *slog.Logger, msg string, err error) {
+	log.Error(msg, "error", err)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -65,8 +73,19 @@ func main() {
 		gather    = flag.Int("gather", 1, "scatter-gather goroutines per query in sharded mode")
 		shardMode = flag.Bool("shard-mode", false, "serve as one shard of a dynagg-router fleet: expose the /v1/shard/* epoch admin wire and leave epoch publication to the router")
 		freezeTO  = flag.Duration("freeze-timeout", 30*time.Second, "shard mode: auto-abort a frozen epoch no router published in time")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		pprofAddr = flag.String("pprof-addr", "", "optional admin listener serving net/http/pprof (empty = disabled)")
+		debugReqs = flag.Int("debug-requests", webiface.DefaultDebugRequests, "size of the /v1/debug/requests ring (<= 0 disables)")
+		slowReq   = flag.Duration("slow-request", webiface.DefaultSlowRequest, "record successful requests at or above this latency in the debug ring (<= 0 records every request)")
 	)
 	flag.Parse()
+	logger, err := obs.NewLogger(*logFormat, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+	obs.ServePprof(*pprofAddr, logger)
 	if *init0 == 0 {
 		*init0 = *n * 9 / 10
 	}
@@ -88,12 +107,13 @@ func main() {
 	if *shardMode || *shards > 1 {
 		env, err := dynagg.NewShardedEnv(data, *init0, *seed+1, *shards)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "sharded env", err)
 		}
 		iface := dynagg.NewShardedIface(env.Store, *k, nil)
 		iface.SetGatherWorkers(*gather)
 		h := webiface.NewHandler(iface)
 		h.SetPerKeyBudget(*budget)
+		h.SetRequestLog(*debugReqs, *slowReq)
 		b = backend{
 			handler: h,
 			reset:   h.ResetBudgets,
@@ -134,11 +154,12 @@ func main() {
 	} else {
 		env, err := dynagg.NewEnv(data, *init0, *seed+1)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "env", err)
 		}
 		iface := dynagg.NewIface(env.Store, *k, nil)
 		h := webiface.NewHandler(iface)
 		h.SetPerKeyBudget(*budget)
+		h.SetRequestLog(*debugReqs, *slowReq)
 		b = backend{
 			handler: h,
 			reset:   h.ResetBudgets,
@@ -171,13 +192,13 @@ func main() {
 				case <-t.C:
 				}
 				if err := b.churn(); err != nil {
-					log.Printf("round churn: %v", err)
+					logger.Error("round churn failed", "error", err)
 				}
 				if !*shardMode {
 					b.reset()
 				}
-				log.Printf("round: |D|=%d version=%d queries=%d",
-					b.size(), b.version(), b.queries())
+				logger.Info("round complete",
+					"size", b.size(), "version", b.version(), "queries", b.queries())
 			}
 		}()
 	}
@@ -190,14 +211,15 @@ func main() {
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
-			log.Printf("shutdown: %v", err)
+			logger.Error("shutdown", "error", err)
 		}
 	}()
 
-	log.Printf("serving %d-tuple hidden database on %s (k=%d, m=%d, budget=%d, round=%s, shards=%d, shard-mode=%v)",
-		b.size(), *addr, *k, *m, *budget, *round, *shards, *shardMode)
+	logger.Info("serving hidden database",
+		"addr", *addr, "size", b.size(), "k", *k, "m", *m, "budget", *budget,
+		"round", (*round).String(), "shards", *shards, "shard_mode", *shardMode)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		fatal(logger, "listen", err)
 	}
-	log.Printf("drained; bye (served %d queries)", b.queries())
+	logger.Info("drained; bye", "queries", b.queries())
 }

@@ -27,7 +27,8 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -35,9 +36,16 @@ import (
 	"time"
 
 	dynagg "github.com/dynagg/dynagg"
+	"github.com/dynagg/dynagg/internal/obs"
 	"github.com/dynagg/dynagg/internal/tracking"
 	"github.com/dynagg/dynagg/webiface"
 )
+
+// fatal reports a startup error through the structured logger and exits.
+func fatal(log *slog.Logger, msg string, err error) {
+	log.Error(msg, "error", err)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -65,8 +73,18 @@ func main() {
 		minInterval = flag.Duration("min-interval", 0, "remote: minimum spacing between requests")
 		reqTimeout  = flag.Duration("timeout", 15*time.Second, "remote: per-request timeout")
 		apiKey      = flag.String("key", "", "remote: X-API-Key for server-side budget accounting")
+
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		pprofAddr = flag.String("pprof-addr", "", "optional admin listener serving net/http/pprof (empty = disabled)")
 	)
 	flag.Parse()
+	logger, err := obs.NewLogger(*logFormat, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+	obs.ServePprof(*pprofAddr, logger)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -85,7 +103,6 @@ func main() {
 	}
 
 	var svc *tracking.Service
-	var err error
 	if *remote != "" {
 		var c *webiface.Client
 		c, err = webiface.Dial(*remote, webiface.ClientOptions{
@@ -94,7 +111,7 @@ func main() {
 			APIKey:         *apiKey,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "dial remote", err)
 		}
 		svc, err = tracking.New(c.Schema(),
 			func(g int) tracking.Session { return c.NewSession(g) }, cfg)
@@ -105,7 +122,7 @@ func main() {
 		data := dynagg.AutosLikeN(*seed+100, *n, *m)
 		env, eerr := dynagg.NewEnv(data, *init0, *seed+101)
 		if eerr != nil {
-			log.Fatal(eerr)
+			fatal(logger, "env", eerr)
 		}
 		iface := dynagg.NewIface(env.Store, *k, nil)
 		cfg.PreRound = func(round int) error {
@@ -118,7 +135,7 @@ func main() {
 			if err := env.DeleteFraction(*del); err != nil {
 				return err
 			}
-			log.Printf("churn: |D|=%d version=%d", env.Store.Size(), env.Store.Version())
+			logger.Info("churn applied", "size", env.Store.Size(), "version", env.Store.Version())
 			return nil
 		}
 		cfg.AnswerCacheStats = iface.CacheStats
@@ -126,18 +143,18 @@ func main() {
 			func(g int) tracking.Session { return iface.NewSession(g) }, cfg)
 	}
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, "tracking service", err)
 	}
 	if svc.Resumed() {
-		log.Printf("resumed from %s at round %d", *checkpoint, svc.CurrentView().Round)
+		logger.Info("resumed from checkpoint", "path", *checkpoint, "round", svc.CurrentView().Round)
 	}
 
 	if *addr != "" {
 		srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 		go func() {
-			log.Printf("status on %s (/status /estimates /healthz)", *addr)
+			logger.Info("status server listening", "addr", *addr)
 			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("status server: %v", err)
+				logger.Error("status server failed", "error", err)
 			}
 		}()
 		defer func() {
@@ -147,13 +164,15 @@ func main() {
 		}()
 	}
 
-	log.Printf("tracking with %s every %s (G=%d, workers=%d)", *algo, *round, *budget, *workers)
+	logger.Info("tracking started",
+		"algo", *algo, "round", (*round).String(), "budget", *budget, "workers", *workers)
 	if err := svc.Run(ctx); err != nil {
-		log.Fatal(err)
+		fatal(logger, "run", err)
 	}
 	v := svc.CurrentView()
-	log.Printf("stopped at round %d (%d drill downs); last estimates:", v.Round, v.Drills)
+	logger.Info("tracking stopped", "round", v.Round, "drill_downs", v.Drills)
 	for _, e := range v.Estimates {
-		log.Printf("  %s = %.1f (variance %.3g, %d drills)", e.Aggregate, e.Value, e.Variance, e.Drills)
+		logger.Info("final estimate",
+			"aggregate", e.Aggregate, "value", e.Value, "variance", e.Variance, "drills", e.Drills)
 	}
 }

@@ -52,6 +52,7 @@ import (
 
 	"github.com/dynagg/dynagg/internal/hiddendb"
 	"github.com/dynagg/dynagg/internal/metrics"
+	"github.com/dynagg/dynagg/internal/obs"
 	"github.com/dynagg/dynagg/internal/schema"
 	"github.com/dynagg/dynagg/internal/tracking"
 	"github.com/dynagg/dynagg/webiface"
@@ -111,6 +112,11 @@ type Manager struct {
 	cfg   Config
 	pool  *ClientPool
 	start time.Time
+
+	// tickHist distributes whole-tick wall time (churn hooks + every
+	// stepped task); /v1/metrics exports it as dynagg_fleet_tick_seconds.
+	// Per-task round time lives in each task's tracking.Service.
+	tickHist obs.Histogram
 
 	// saveMu serialises whole state-file writes: the snapshot is taken
 	// and the file renamed under it, so the last completed write always
@@ -442,6 +448,8 @@ func (m *Manager) idsLocked() []string { return metrics.SortedKeys(m.tasks) }
 // never stop the tick. It must not be called concurrently with itself
 // or Run — the scheduler goroutine owns all task stepping.
 func (m *Manager) TickOnce() {
+	tickStart := time.Now()
+	defer func() { m.tickHist.Observe(time.Since(tickStart)) }()
 	m.mu.Lock()
 	m.ticks++
 	m.tickActive = true
@@ -624,6 +632,18 @@ func (m *Manager) taskStatusLocked(id string, t *task) TaskStatus {
 		ts.LastError = t.stepErr.Error()
 	}
 	return ts
+}
+
+// taskRoundLatencies snapshots every task's per-round wall-time
+// histogram, keyed by task ID, for the per-task latency families.
+func (m *Manager) taskRoundLatencies() map[string]obs.HistogramSnapshot {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[string]obs.HistogramSnapshot, len(m.tasks))
+	for id, t := range m.tasks {
+		out[id] = t.svc.RoundLatency()
+	}
+	return out
 }
 
 // TaskView returns one task's current view.

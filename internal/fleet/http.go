@@ -8,6 +8,7 @@ import (
 
 	"github.com/dynagg/dynagg/internal/httpapi"
 	"github.com/dynagg/dynagg/internal/metrics"
+	"github.com/dynagg/dynagg/internal/obs"
 )
 
 // Handler exposes the fleet control plane, mounted under the current API
@@ -142,6 +143,15 @@ func (m *Manager) serveMetrics(w http.ResponseWriter) {
 	b.Int("dynagg_fleet_wasted_queries_total", st.WastedTotal)
 	b.Family("dynagg_fleet_rounds_total", "counter", "Task rounds completed by this process.")
 	b.Int("dynagg_fleet_rounds_total", st.RoundsTotal)
+	b.Family("dynagg_fleet_tick_seconds", "histogram", "Whole-tick wall time: churn hooks plus every stepped task.")
+	tick := m.tickHist.Snapshot()
+	b.Histogram("dynagg_fleet_tick_seconds", obs.Bounds(), tick.Counts, tick.SumSeconds)
+	b.Family("dynagg_fleet_task_round_seconds", "histogram", "Per-round wall time per task (step + checkpoint).")
+	lats := m.taskRoundLatencies()
+	for _, id := range metrics.SortedKeys(lats) {
+		s := lats[id]
+		b.Histogram("dynagg_fleet_task_round_seconds", obs.Bounds(), s.Counts, s.SumSeconds, "task", id)
+	}
 
 	b.Family("dynagg_fleet_task_round", "gauge", "Estimator round per task (lifetime).")
 	for _, t := range st.Tasks {

@@ -21,8 +21,9 @@ type Builder struct {
 	sb strings.Builder
 }
 
-// Family starts a metric family: typ is "counter" or "gauge". Call it
-// once per family, before the family's Value calls.
+// Family starts a metric family: typ is "counter", "gauge" or
+// "histogram". Call it once per family, before the family's Value (or
+// Histogram) calls.
 func (b *Builder) Family(name, typ, help string) {
 	b.sb.WriteString("# HELP ")
 	b.sb.WriteString(name)
@@ -64,6 +65,38 @@ func (b *Builder) Value(name string, v float64, labelPairs ...string) {
 // Int emits one integer-valued sample.
 func (b *Builder) Int(name string, v int, labelPairs ...string) {
 	b.Value(name, float64(v), labelPairs...)
+}
+
+// Histogram emits one histogram's full sample set under an already
+// declared "histogram" family: cumulative "_bucket" samples with an
+// "le" label per upper bound plus le="+Inf", then "_sum" and "_count".
+// counts must carry len(bounds)+1 entries — per-bucket (non-cumulative)
+// counts with the overflow bucket last — and sum is in the family's
+// unit (seconds for latency families). bounds must be sorted ascending;
+// cumulative sums make the emitted buckets monotone by construction.
+func (b *Builder) Histogram(name string, bounds []float64, counts []uint64, sum float64, labelPairs ...string) {
+	if len(counts) != len(bounds)+1 {
+		panic("metrics: histogram counts must have len(bounds)+1 entries")
+	}
+	if len(labelPairs)%2 != 0 {
+		panic("metrics: odd label pair count")
+	}
+	// One shared label slice with the trailing le pair rewritten per
+	// bucket — never append to the caller's slice (aliasing).
+	lp := make([]string, len(labelPairs), len(labelPairs)+2)
+	copy(lp, labelPairs)
+	lp = append(lp, "le", "")
+	var cum uint64
+	for i, bound := range bounds {
+		cum += counts[i]
+		lp[len(lp)-1] = strconv.FormatFloat(bound, 'g', -1, 64)
+		b.Value(name+"_bucket", float64(cum), lp...)
+	}
+	cum += counts[len(bounds)]
+	lp[len(lp)-1] = "+Inf"
+	b.Value(name+"_bucket", float64(cum), lp...)
+	b.Value(name+"_sum", sum, labelPairs...)
+	b.Value(name+"_count", float64(cum), labelPairs...)
 }
 
 // String returns the exposition text.

@@ -1,0 +1,145 @@
+package promcheck
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dynagg/dynagg/internal/metrics"
+)
+
+const validDoc = `# HELP a_total Things counted.
+# TYPE a_total counter
+a_total 5
+# HELP temp_c Current temperature.
+# TYPE temp_c gauge
+temp_c{site="lab",kind="x\"y\\z\n"} -3.25
+temp_c{site="roof"} 1e-3
+# HELP lat_seconds Request latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{route="a",le="0.1"} 1
+lat_seconds_bucket{route="a",le="0.5"} 1
+lat_seconds_bucket{route="a",le="+Inf"} 3
+lat_seconds_sum{route="a"} 0.75
+lat_seconds_count{route="a"} 3
+lat_seconds_bucket{route="b",le="0.1"} 0
+lat_seconds_bucket{route="b",le="+Inf"} 0
+lat_seconds_sum{route="b"} 0
+lat_seconds_count{route="b"} 0
+`
+
+func TestValidateAccepts(t *testing.T) {
+	if err := Validate(validDoc); err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+}
+
+func TestValidateAcceptsBuilderOutput(t *testing.T) {
+	// The validator must accept what the repo's own Builder emits —
+	// including an unlabeled histogram and escaped label values.
+	var b metrics.Builder
+	b.Family("x_total", "counter", "Total xs.")
+	b.Int("x_total", 7, "name", `quo"te\back`)
+	b.Family("d_seconds", "histogram", "Durations.")
+	b.Histogram("d_seconds", []float64{0.001, 0.01, 0.1}, []uint64{1, 2, 0, 1}, 0.123)
+	b.Histogram("d_seconds", []float64{0.001, 0.01, 0.1}, []uint64{0, 0, 0, 0}, 0, "shard", "1")
+	var sb strings.Builder
+	if _, err := b.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(sb.String()); err != nil {
+		t.Fatalf("builder output rejected: %v\n%s", err, sb.String())
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string // substring of the expected error
+	}{
+		{"empty", "", "empty document"},
+		{"no trailing newline", "# HELP a A.\n# TYPE a counter\na 1", "does not end with a newline"},
+		{"blank line", "# HELP a A.\n# TYPE a counter\n\na 1\n", "blank line"},
+		{"type without help", "# TYPE a counter\na 1\n", "without an immediately preceding HELP"},
+		{"help never typed", "# HELP a A.\na 1\n", "not followed by its TYPE"},
+		{"help dangling at EOF", "# HELP a A.\n# TYPE a counter\na 1\n# HELP b B.\n", "not followed by its TYPE"},
+		{"mismatched type name", "# HELP a A.\n# TYPE b counter\nb 1\n", "without an immediately preceding HELP"},
+		{"unknown type", "# HELP a A.\n# TYPE a meter\na 1\n", "unknown metric type"},
+		{"plain comment", "# just a note\n", "neither HELP nor TYPE"},
+		{"sample before family", "a 1\n", "sample before any family"},
+		{"sample outside family", "# HELP a A.\n# TYPE a counter\nz 1\n", `sample "z" under family "a"`},
+		{"duplicate family", "# HELP a A.\n# TYPE a counter\na 1\n# HELP a A.\n# TYPE a counter\na 2\n", "declared twice"},
+		{"invalid metric name", "# HELP 9a A.\n# TYPE 9a counter\n9a 1\n", "invalid metric name"},
+		{"invalid label name", "# HELP a A.\n# TYPE a counter\na{9x=\"v\"} 1\n", "invalid label name"},
+		{"reserved label name", "# HELP a A.\n# TYPE a counter\na{__x=\"v\"} 1\n", "invalid label name"},
+		{"duplicate label", "# HELP a A.\n# TYPE a counter\na{x=\"v\",x=\"w\"} 1\n", "duplicate label"},
+		{"unquoted label value", "# HELP a A.\n# TYPE a counter\na{x=v} 1\n", "not quoted"},
+		{"unterminated label value", "# HELP a A.\n# TYPE a counter\na{x=\"v} 1\n", "unterminated"},
+		{"bad escape", "# HELP a A.\n# TYPE a counter\na{x=\"\\t\"} 1\n", "invalid escape"},
+		{"unterminated label set", "# HELP a A.\n# TYPE a counter\na{x=\"v\" 1\n", "unexpected"},
+		{"missing value", "# HELP a A.\n# TYPE a counter\na\n", "malformed sample"},
+		{"unparseable value", "# HELP a A.\n# TYPE a counter\na one\n", "unparseable value"},
+		{"trailing timestamp", "# HELP a A.\n# TYPE a counter\na 1 12345\n", "malformed value"},
+		{
+			"bucket without le",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 0\nh_count 1\n",
+			"without le label",
+		},
+		{
+			"unparseable le",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"abc\"} 1\n",
+			"unparseable le",
+		},
+		{
+			"non-ascending bounds",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"0.5\"} 1\nh_bucket{le=\"0.1\"} 2\n",
+			"not ascending",
+		},
+		{
+			"non-monotone buckets",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"0.1\"} 3\nh_bucket{le=\"0.5\"} 2\n",
+			"not monotone",
+		},
+		{
+			"missing +Inf",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"0.1\"} 1\nh_sum 0.1\nh_count 1\n",
+			`missing le="+Inf"`,
+		},
+		{
+			"count disagrees with +Inf",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 0.1\nh_count 2\n",
+			"_count absent or != +Inf",
+		},
+		{
+			"missing count",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 0.1\n",
+			"_count absent",
+		},
+		{
+			"missing sum",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 0\nh_count 0\n",
+			"missing _sum",
+		},
+		{
+			"stray histogram sample",
+			"# HELP h H.\n# TYPE h histogram\nh_quantile 1\n",
+			"under histogram family",
+		},
+		{
+			"incomplete before next family",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"0.1\"} 1\n# HELP a A.\n# TYPE a counter\na 1\n",
+			`missing le="+Inf"`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Validate(tc.doc)
+			if err == nil {
+				t.Fatalf("invalid document accepted:\n%s", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

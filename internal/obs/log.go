@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"os"
+)
+
+// NewLogger builds the structured logger the daemons share: format is
+// "text" (human-oriented key=value lines, the default) or "json"
+// (machine-shippable). All four cmd/ binaries wire it to -log-format
+// and install it as the slog default.
+func NewLogger(format string, w io.Writer) (*slog.Logger, error) {
+	if w == nil {
+		w = os.Stderr
+	}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+}
+
+// PprofMux returns a mux serving net/http/pprof under /debug/pprof/.
+// The daemons mount it on a separate opt-in admin listener
+// (-pprof-addr) so profiling never shares a port with the public
+// serving surface.
+func PprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServePprof starts the opt-in pprof admin listener when addr is
+// non-empty. It returns immediately; listener failures are logged, not
+// fatal — profiling is a diagnostic aid, never worth taking a serving
+// daemon down over.
+func ServePprof(addr string, log *slog.Logger) {
+	if addr == "" {
+		return
+	}
+	if log == nil {
+		log = slog.Default()
+	}
+	go func() {
+		log.Info("pprof admin listening", "addr", addr)
+		if err := http.ListenAndServe(addr, PprofMux()); err != nil {
+			log.Error("pprof admin server failed", "addr", addr, "error", err)
+		}
+	}()
+}

@@ -1,0 +1,174 @@
+package router
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/dynagg/dynagg/internal/obs"
+)
+
+// debugBody mirrors the /v1/debug/requests JSON shape.
+type debugBody struct {
+	SlowThresholdMs float64             `json:"slow_threshold_ms"`
+	Records         []obs.RequestRecord `json:"records"`
+}
+
+func getDebugRequests(t *testing.T, base string) debugBody {
+	t.Helper()
+	status, body := fetch(t, http.MethodGet, base+"/v1/debug/requests", "", "")
+	if status != http.StatusOK {
+		t.Fatalf("debug requests status %d: %s", status, body)
+	}
+	var out debugBody
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("debug requests body not JSON: %v (%s)", err, body)
+	}
+	return out
+}
+
+// TestTracePropagation: a trace ID supplied to the router is echoed on
+// the response, forwarded to every shard daemon (observable in each
+// shard's own debug ring), and recorded in the router's ring with
+// per-shard timings and the pinned epoch.
+func TestTracePropagation(t *testing.T) {
+	f := newFleet(t, 3, 411, 300)
+	for _, h := range f.handlers {
+		h.SetRequestLog(64, 0) // record every request, not just slow ones
+	}
+	rt, srv := dialRouter(t, f, Options{})
+	rt.SetRequestLog(64, 0)
+	f.round(rt)
+
+	const trace = "cafef00d1badd00d"
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/v1/search?where=0:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.TraceHeader, trace)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.TraceHeader); got != trace {
+		t.Fatalf("router echoed trace %q, want %q", got, trace)
+	}
+
+	// Every shard daemon saw the routed request under the same trace.
+	for i, base := range f.bases() {
+		ring := getDebugRequests(t, base)
+		found := false
+		for _, rec := range ring.Records {
+			if rec.Trace == trace {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("shard %d debug ring has no record with trace %q: %+v", i, trace, ring.Records)
+		}
+	}
+
+	// The router's own ring carries the record with shard timings and
+	// the pinned epoch.
+	ring := getDebugRequests(t, srv.URL)
+	var rec *obs.RequestRecord
+	for i := range ring.Records {
+		if ring.Records[i].Trace == trace {
+			rec = &ring.Records[i]
+		}
+	}
+	if rec == nil {
+		t.Fatalf("router debug ring has no record with trace %q", trace)
+	}
+	if rec.Route != "search" || rec.Status != http.StatusOK || rec.Outcome != "ok" {
+		t.Errorf("record = %+v", rec)
+	}
+	if rec.Epoch != rt.Seq() {
+		t.Errorf("record epoch %d, want pinned %d", rec.Epoch, rt.Seq())
+	}
+	if len(rec.Shards) != f.ref.NumShards() {
+		t.Fatalf("record has %d shard timings, want %d", len(rec.Shards), f.ref.NumShards())
+	}
+	for i, st := range rec.Shards {
+		if st.Shard != i || st.DurationMs < 0 || st.Error != "" {
+			t.Errorf("shard timing %d = %+v", i, st)
+		}
+	}
+}
+
+// TestTraceMintedAndBatchPropagation: absent a caller trace the router
+// mints one, and batched POSTs propagate it the same way.
+func TestTraceMintedAndBatchPropagation(t *testing.T) {
+	f := newFleet(t, 2, 412, 200)
+	for _, h := range f.handlers {
+		h.SetRequestLog(64, 0)
+	}
+	rt, srv := dialRouter(t, f, Options{})
+	rt.SetRequestLog(64, 0)
+	f.round(rt)
+
+	resp, err := http.Post(srv.URL+"/v1/search", "application/json",
+		strings.NewReader(`{"queries":[{"where":["0:1"]},{"where":["1:0"]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	minted := resp.Header.Get(obs.TraceHeader)
+	if len(minted) != 16 {
+		t.Fatalf("minted trace %q, want 16 hex chars", minted)
+	}
+
+	for i, base := range f.bases() {
+		ring := getDebugRequests(t, base)
+		found := false
+		for _, rec := range ring.Records {
+			if rec.Trace == minted {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("shard %d never saw minted trace %q", i, minted)
+		}
+	}
+	ring := getDebugRequests(t, srv.URL)
+	if len(ring.Records) == 0 || ring.Records[0].Trace != minted || ring.Records[0].Route != "search_batch" {
+		t.Fatalf("router ring = %+v", ring.Records)
+	}
+}
+
+// TestRouterMetricsHistograms: after traffic the router exports latency
+// histogram families with consistent bucket counts.
+func TestRouterMetricsHistograms(t *testing.T) {
+	f := newFleet(t, 2, 413, 200)
+	rt, srv := dialRouter(t, f, Options{})
+	f.round(rt)
+	for i := 0; i < 3; i++ {
+		if status, body := fetch(t, http.MethodGet, srv.URL+"/v1/search?where=0:0", "", ""); status != http.StatusOK {
+			t.Fatalf("search status %d: %s", status, body)
+		}
+	}
+	status, body := fetch(t, http.MethodGet, srv.URL+"/v1/metrics", "", "")
+	if status != http.StatusOK {
+		t.Fatalf("metrics status %d", status)
+	}
+	for _, want := range []string{
+		`dynagg_router_request_seconds_count{route="search"} 3`,
+		`dynagg_router_request_seconds_bucket{route="search",le="+Inf"} 3`,
+		`dynagg_router_merge_seconds_count 3`,
+		`dynagg_router_shard_request_seconds_bucket{shard="0",le="+Inf"} 3`,
+		`dynagg_router_shard_request_seconds_bucket{shard="1",le="+Inf"} 3`,
+		"# TYPE dynagg_router_request_seconds histogram",
+	} {
+		if !strings.Contains(body, want+"\n") {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"github.com/dynagg/dynagg/internal/hiddendb"
 	"github.com/dynagg/dynagg/internal/httpapi"
 	"github.com/dynagg/dynagg/internal/metrics"
+	"github.com/dynagg/dynagg/internal/obs"
 	"github.com/dynagg/dynagg/internal/schema"
 	"github.com/dynagg/dynagg/webiface"
 )
@@ -36,6 +38,15 @@ type Options struct {
 	// AdminTimeout bounds each admin call of the handshake and the
 	// health probe (default 5s).
 	AdminTimeout time.Duration
+	// DebugRequests sizes the /v1/debug/requests ring (0 = default 64,
+	// negative = disabled).
+	DebugRequests int
+	// SlowRequest is the latency at or above which a successful request
+	// is recorded in the debug ring; failures always record (0 = default
+	// 50ms, negative = record every request).
+	SlowRequest time.Duration
+	// Logger receives trace-correlated failure logs (nil = discard).
+	Logger *slog.Logger
 }
 
 // Router is one logical hidden database over a fleet of shard daemons.
@@ -68,6 +79,18 @@ type Router struct {
 	failures   atomic.Uint64
 	degraded   atomic.Uint64
 	handshakes atomic.Uint64
+
+	// Latency histograms exported by /v1/metrics: end-to-end per route,
+	// plus the top-k partial merge alone so fan-out wait and merge cost
+	// are separable.
+	reqHist   obs.Histogram // GET /v1/search, fan-out + merge + encode
+	batchHist obs.Histogram // POST /v1/search, whole batch
+	mergeHist obs.Histogram // MergePartials time per answered request
+
+	// reqlog is the /v1/debug/requests ring: recent slow/failed requests
+	// with their trace ID, per-shard timings and pinned epoch.
+	reqlog *obs.RequestLog
+	log    *slog.Logger
 }
 
 // shardConn is the router's connection to one shard daemon.
@@ -78,6 +101,8 @@ type shardConn struct {
 	healthy  atomic.Bool
 	lastSeq  atomic.Uint64 // last epoch seq observed on a serving response
 	mismatch atomic.Bool   // sticky: served an epoch other than the pinned one
+
+	hist obs.Histogram // fan-out request latency distribution
 
 	latMu    sync.Mutex
 	latCount uint64
@@ -118,7 +143,19 @@ func New(shards []string, opts Options) (*Router, error) {
 		admin:        &http.Client{Timeout: opts.AdminTimeout},
 		perKeyBudget: opts.PerKeyBudget,
 		used:         make(map[string]int),
+		log:          opts.Logger,
 	}
+	if rt.log == nil {
+		rt.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	size, slow := opts.DebugRequests, opts.SlowRequest
+	if size == 0 {
+		size = webiface.DefaultDebugRequests
+	}
+	if slow == 0 {
+		slow = webiface.DefaultSlowRequest
+	}
+	rt.reqlog = obs.NewRequestLog(size, slow)
 	// Every concurrent client request fans out to EVERY shard, so the
 	// shard connections see len(shards)× the router's own concurrency.
 	// The default transport keeps only 2 idle conns per host, which
@@ -218,6 +255,12 @@ func (rt *Router) RetryCount() uint64 {
 	return n
 }
 
+// SetRequestLog swaps the /v1/debug/requests ring (size <= 0 disables;
+// slow <= 0 records every request). Call before serving.
+func (rt *Router) SetRequestLog(size int, slow time.Duration) {
+	rt.reqlog = obs.NewRequestLog(size, slow)
+}
+
 // SetPerKeyBudget caps the searches each API key may issue per epoch
 // (g <= 0 means unlimited).
 func (rt *Router) SetPerKeyBudget(g int) {
@@ -262,6 +305,8 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		rt.serveHealthz(w)
 	case "/v1/metrics":
 		rt.serveMetrics(w)
+	case "/v1/debug/requests":
+		rt.reqlog.ServeJSON(w)
 	default:
 		httpapi.WriteError(w, http.StatusNotFound, httpapi.CodeNotFound, "no such route: "+r.URL.Path)
 	}
@@ -370,15 +415,36 @@ func (rt *Router) serveMetrics(w http.ResponseWriter) {
 		}
 		b.Int("dynagg_router_shard_healthy", v, "shard", strconv.Itoa(i))
 	}
+	// One loop per family: a metric's samples must stay grouped under
+	// its own HELP/TYPE declaration (promcheck enforces this).
 	b.Family("dynagg_router_shard_requests_total", "counter", "Requests issued to each shard.")
+	for i, sc := range rt.conns {
+		count, _, _ := sc.latency()
+		b.Value("dynagg_router_shard_requests_total", float64(count), "shard", strconv.Itoa(i))
+	}
 	b.Family("dynagg_router_shard_latency_seconds_sum", "counter", "Total request latency per shard.")
+	for i, sc := range rt.conns {
+		_, sum, _ := sc.latency()
+		b.Value("dynagg_router_shard_latency_seconds_sum", sum.Seconds(), "shard", strconv.Itoa(i))
+	}
 	b.Family("dynagg_router_shard_latency_seconds_max", "gauge", "Maximum request latency per shard.")
 	for i, sc := range rt.conns {
-		count, sum, max := sc.latency()
-		l := strconv.Itoa(i)
-		b.Value("dynagg_router_shard_requests_total", float64(count), "shard", l)
-		b.Value("dynagg_router_shard_latency_seconds_sum", sum.Seconds(), "shard", l)
-		b.Value("dynagg_router_shard_latency_seconds_max", max.Seconds(), "shard", l)
+		_, _, max := sc.latency()
+		b.Value("dynagg_router_shard_latency_seconds_max", max.Seconds(), "shard", strconv.Itoa(i))
+	}
+	bounds := obs.Bounds()
+	b.Family("dynagg_router_request_seconds", "histogram", "End-to-end routed request latency by route (fan-out, merge and encode included).")
+	reqSnap := rt.reqHist.Snapshot()
+	b.Histogram("dynagg_router_request_seconds", bounds, reqSnap.Counts, reqSnap.SumSeconds, "route", routeSearch)
+	batchSnap := rt.batchHist.Snapshot()
+	b.Histogram("dynagg_router_request_seconds", bounds, batchSnap.Counts, batchSnap.SumSeconds, "route", routeSearchBatch)
+	b.Family("dynagg_router_merge_seconds", "histogram", "Top-k partial merge time per answered request.")
+	mergeSnap := rt.mergeHist.Snapshot()
+	b.Histogram("dynagg_router_merge_seconds", bounds, mergeSnap.Counts, mergeSnap.SumSeconds)
+	b.Family("dynagg_router_shard_request_seconds", "histogram", "Fan-out request latency per shard connection.")
+	for i, sc := range rt.conns {
+		hs := sc.hist.Snapshot()
+		b.Histogram("dynagg_router_shard_request_seconds", bounds, hs.Counts, hs.SumSeconds, "shard", strconv.Itoa(i))
 	}
 	b.Family("dynagg_router_per_key_budget", "gauge", "Per-API-key query budget per epoch (0 = unlimited).")
 	b.Int("dynagg_router_per_key_budget", budget)
@@ -410,16 +476,70 @@ func (rt *Router) unavailable(w http.ResponseWriter, msg string) {
 	httpapi.WriteError(w, http.StatusServiceUnavailable, httpapi.CodeUnavailable, msg)
 }
 
+// Route names used in metrics labels and the debug ring.
+const (
+	routeSearch      = "search"
+	routeSearchBatch = "search_batch"
+)
+
+// traceFor stamps a request: the inbound X-Dynagg-Trace is honoured (so
+// a caller-minted ID survives the router hop), otherwise the router
+// mints one. The ID is echoed on the response and propagated to every
+// shard daemon through the fan-out context.
+func traceFor(w http.ResponseWriter, r *http.Request) string {
+	trace := r.Header.Get(obs.TraceHeader)
+	if trace == "" {
+		trace = obs.NewTraceID()
+	}
+	w.Header().Set(obs.TraceHeader, trace)
+	return trace
+}
+
+// finish closes out one routed request: end-to-end latency into the
+// route's histogram, slow/failed requests into the debug ring, failures
+// into the trace-correlated log.
+func (rt *Router) finish(trace, route string, status int, start time.Time, detail string, shards []obs.ShardTiming) {
+	d := time.Since(start)
+	if route == routeSearch {
+		rt.reqHist.Observe(d)
+	} else {
+		rt.batchHist.Observe(d)
+	}
+	failed := status >= 400
+	outcome := "ok"
+	if failed {
+		outcome = "error"
+		rt.log.Warn("request failed",
+			"trace", trace, "route", route, "status", status,
+			"duration_ms", obs.DurationMs(d), "detail", detail)
+	}
+	if rt.reqlog.Qualifies(d, failed) {
+		rt.reqlog.Record(obs.RequestRecord{
+			Trace:      trace,
+			Route:      route,
+			Status:     status,
+			DurationMs: obs.DurationMs(d),
+			Outcome:    outcome,
+			Epoch:      rt.seq.Load(),
+			Detail:     detail,
+			Shards:     shards,
+		})
+	}
+}
+
 // serveSearch answers a single GET query by scatter-gather: parse and
 // charge exactly like a shard daemon would, fan the query out under the
 // pinned epoch, merge the per-shard top-k partials, re-encode with the
 // shared wire encoder. The response bytes are identical to a single
 // process serving the union of the shards.
 func (rt *Router) serveSearch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	trace := traceFor(w, r)
 	vals := r.URL.Query()
 	q, err := webiface.ParseWhere(rt.sch, vals["where"])
 	if err != nil {
 		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
+		rt.finish(trace, routeSearch, http.StatusBadRequest, start, err.Error(), nil)
 		return
 	}
 	key := r.Header.Get("X-API-Key")
@@ -429,38 +549,46 @@ func (rt *Router) serveSearch(w http.ResponseWriter, r *http.Request) {
 	if !rt.consumeBudget(key) {
 		httpapi.WriteError(w, http.StatusTooManyRequests, httpapi.CodeBudgetExhausted,
 			"per-round query budget exhausted")
+		rt.finish(trace, routeSearch, http.StatusTooManyRequests, start, "per-round query budget exhausted", nil)
 		return
 	}
 	rt.queries.Add(1)
-	partials, err := rt.fanOut(r.Context(), func(ctx context.Context, sc *shardConn) (hiddendb.Result, error) {
+	ctx := obs.WithTrace(r.Context(), trace)
+	partials, timings, err := rt.fanOut(ctx, func(ctx context.Context, sc *shardConn) (hiddendb.Result, error) {
 		return sc.c.SearchContext(ctx, q)
 	})
 	if err != nil {
 		rt.unavailable(w, err.Error())
+		rt.finish(trace, routeSearch, http.StatusServiceUnavailable, start, err.Error(), timings)
 		return
 	}
+	mStart := time.Now()
 	merged := hiddendb.MergePartials(partials, rt.k, nil)
 	buf := webiface.AppendWireResult(nil, rt.k, merged)
+	rt.mergeHist.Observe(time.Since(mStart))
 	buf = append(buf, '\n')
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(buf)
+	rt.finish(trace, routeSearch, http.StatusOK, start, "", timings)
 }
 
 // fanOut runs one request against every shard under the pinned epoch,
-// returning the per-shard partial results in shard order. A shard that
-// errors, or whose response carried a different epoch than the pinned
-// one, fails the whole fan-out — unless degraded reads are on, in which
-// case its partial is simply dropped.
-func (rt *Router) fanOut(ctx context.Context, call func(context.Context, *shardConn) (hiddendb.Result, error)) ([]hiddendb.Result, error) {
+// returning the per-shard partial results in shard order plus the
+// per-shard timings for the debug ring. A shard that errors, or whose
+// response carried a different epoch than the pinned one, fails the
+// whole fan-out — unless degraded reads are on, in which case its
+// partial is simply dropped.
+func (rt *Router) fanOut(ctx context.Context, call func(context.Context, *shardConn) (hiddendb.Result, error)) ([]hiddendb.Result, []obs.ShardTiming, error) {
 	rt.pinMu.RLock()
 	defer rt.pinMu.RUnlock()
 	pinned := rt.seq.Load()
 	if pinned == 0 {
-		return nil, fmt.Errorf("no fleet epoch published yet (handshake pending)")
+		return nil, nil, fmt.Errorf("no fleet epoch published yet (handshake pending)")
 	}
 	rt.fanouts.Add(1)
 	results := make([]hiddendb.Result, len(rt.conns))
 	errs := make([]error, len(rt.conns))
+	timings := make([]obs.ShardTiming, len(rt.conns))
 	var wg sync.WaitGroup
 	for i, sc := range rt.conns {
 		wg.Add(1)
@@ -468,7 +596,10 @@ func (rt *Router) fanOut(ctx context.Context, call func(context.Context, *shardC
 			defer wg.Done()
 			start := time.Now()
 			results[i], errs[i] = call(ctx, sc)
-			sc.observeLatency(time.Since(start))
+			d := time.Since(start)
+			sc.observeLatency(d)
+			sc.hist.Observe(d)
+			timings[i] = obs.ShardTiming{Shard: i, DurationMs: obs.DurationMs(d)}
 		}(i, sc)
 	}
 	wg.Wait()
@@ -479,11 +610,13 @@ func (rt *Router) fanOut(ctx context.Context, call func(context.Context, *shardC
 		switch {
 		case errs[i] != nil:
 			sc.healthy.Store(false)
+			timings[i].Error = errs[i].Error()
 			dropped++
 			if firstErr == nil {
 				firstErr = fmt.Errorf("shard %d (%s): %v", i, sc.base, errs[i])
 			}
 		case sc.mismatch.Load():
+			timings[i].Error = "epoch mismatch"
 			dropped++
 			if firstErr == nil {
 				firstErr = fmt.Errorf("shard %d (%s): answered epoch %d, fleet pinned %d (re-handshake required)",
@@ -496,11 +629,11 @@ func (rt *Router) fanOut(ctx context.Context, call func(context.Context, *shardC
 	}
 	if dropped > 0 {
 		if !rt.opts.DegradedReads {
-			return nil, firstErr
+			return nil, timings, firstErr
 		}
 		rt.degraded.Add(1)
 	}
-	return partials, nil
+	return partials, timings, nil
 }
 
 // serveSearchBatch answers a batched POST by scatter-gather: the whole
@@ -511,14 +644,18 @@ func (rt *Router) fanOut(ctx context.Context, call func(context.Context, *shardC
 // merged and spliced into the same response bytes a single process
 // produces.
 func (rt *Router) serveSearchBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	trace := traceFor(w, r)
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
 		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, "batch decode: "+err.Error())
+		rt.finish(trace, routeSearchBatch, http.StatusBadRequest, start, "batch decode: "+err.Error(), nil)
 		return
 	}
 	var req wireBatchRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, "batch decode: "+err.Error())
+		rt.finish(trace, routeSearchBatch, http.StatusBadRequest, start, "batch decode: "+err.Error(), nil)
 		return
 	}
 	qs := make([]hiddendb.Query, len(req.Queries))
@@ -527,6 +664,7 @@ func (rt *Router) serveSearchBatch(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest,
 				fmt.Sprintf("query %d: %s", i, err))
+			rt.finish(trace, routeSearchBatch, http.StatusBadRequest, start, fmt.Sprintf("query %d: %s", i, err), nil)
 			return
 		}
 		qs[i] = q
@@ -546,12 +684,16 @@ func (rt *Router) serveSearchBatch(w http.ResponseWriter, r *http.Request) {
 	rt.queries.Add(uint64(len(qs)))
 
 	merged := make([]hiddendb.Result, len(qs))
+	var timings []obs.ShardTiming
 	if len(charged) > 0 {
-		partials, err := rt.fanOutBatch(r.Context(), charged)
+		var partials [][]hiddendb.Result
+		partials, timings, err = rt.fanOutBatch(obs.WithTrace(r.Context(), trace), charged)
 		if err != nil {
 			rt.unavailable(w, err.Error())
+			rt.finish(trace, routeSearchBatch, http.StatusServiceUnavailable, start, err.Error(), timings)
 			return
 		}
+		mStart := time.Now()
 		scratch := make([]hiddendb.Result, 0, len(partials))
 		for j, idx := range chargedIdx {
 			scratch = scratch[:0]
@@ -560,6 +702,7 @@ func (rt *Router) serveSearchBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			merged[idx] = hiddendb.MergePartials(scratch, rt.k, nil)
 		}
+		rt.mergeHist.Observe(time.Since(mStart))
 	}
 
 	buf := append(make([]byte, 0, 4096), `{"k":`...)
@@ -581,15 +724,16 @@ func (rt *Router) serveSearchBatch(w http.ResponseWriter, r *http.Request) {
 	buf = append(buf, '\n')
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(buf)
+	rt.finish(trace, routeSearchBatch, http.StatusOK, start, "", timings)
 }
 
 // fanOutBatch sends the covered queries to every shard as one batched
 // POST each, returning per-shard slices of per-query partial results
-// (surviving shards only, shard order preserved). Failure semantics
-// match fanOut; a per-item error inside an otherwise-successful batch
-// (which the router's unlimited shard budgets should never produce)
-// fails that shard too.
-func (rt *Router) fanOutBatch(ctx context.Context, charged []hiddendb.Query) ([][]hiddendb.Result, error) {
+// (surviving shards only, shard order preserved) plus per-shard
+// timings. Failure semantics match fanOut; a per-item error inside an
+// otherwise-successful batch (which the router's unlimited shard
+// budgets should never produce) fails that shard too.
+func (rt *Router) fanOutBatch(ctx context.Context, charged []hiddendb.Query) ([][]hiddendb.Result, []obs.ShardTiming, error) {
 	type shardBatch struct {
 		items []hiddendb.BatchItem
 		err   error
@@ -598,10 +742,11 @@ func (rt *Router) fanOutBatch(ctx context.Context, charged []hiddendb.Query) ([]
 	defer rt.pinMu.RUnlock()
 	pinned := rt.seq.Load()
 	if pinned == 0 {
-		return nil, fmt.Errorf("no fleet epoch published yet (handshake pending)")
+		return nil, nil, fmt.Errorf("no fleet epoch published yet (handshake pending)")
 	}
 	rt.fanouts.Add(1)
 	outs := make([]shardBatch, len(rt.conns))
+	timings := make([]obs.ShardTiming, len(rt.conns))
 	var wg sync.WaitGroup
 	for i, sc := range rt.conns {
 		wg.Add(1)
@@ -609,7 +754,10 @@ func (rt *Router) fanOutBatch(ctx context.Context, charged []hiddendb.Query) ([]
 			defer wg.Done()
 			start := time.Now()
 			outs[i].items, outs[i].err = sc.c.SearchBatchContext(ctx, charged)
-			sc.observeLatency(time.Since(start))
+			d := time.Since(start)
+			sc.observeLatency(d)
+			sc.hist.Observe(d)
+			timings[i] = obs.ShardTiming{Shard: i, DurationMs: obs.DurationMs(d)}
 		}(i, sc)
 	}
 	wg.Wait()
@@ -629,11 +777,13 @@ func (rt *Router) fanOutBatch(ctx context.Context, charged []hiddendb.Query) ([]
 		switch {
 		case err != nil:
 			sc.healthy.Store(false)
+			timings[i].Error = err.Error()
 			dropped++
 			if firstErr == nil {
 				firstErr = fmt.Errorf("shard %d (%s): %v", i, sc.base, err)
 			}
 		case sc.mismatch.Load():
+			timings[i].Error = "epoch mismatch"
 			dropped++
 			if firstErr == nil {
 				firstErr = fmt.Errorf("shard %d (%s): answered epoch %d, fleet pinned %d (re-handshake required)",
@@ -650,9 +800,9 @@ func (rt *Router) fanOutBatch(ctx context.Context, charged []hiddendb.Query) ([]
 	}
 	if dropped > 0 {
 		if !rt.opts.DegradedReads {
-			return nil, firstErr
+			return nil, timings, firstErr
 		}
 		rt.degraded.Add(1)
 	}
-	return partials, nil
+	return partials, timings, nil
 }

@@ -47,9 +47,10 @@ type fleet struct {
 	refH   *webiface.Handler
 	refSrv *httptest.Server
 
-	stores []*hiddendb.ShardedStore
-	admins []*ShardAdmin
-	srvs   []*httptest.Server
+	stores   []*hiddendb.ShardedStore
+	handlers []*webiface.Handler
+	admins   []*ShardAdmin
+	srvs     []*httptest.Server
 
 	nextID uint64
 }
@@ -74,6 +75,7 @@ func newFleet(t *testing.T, shards int, seed int64, n int, wrap ...func(i int, h
 		srv := httptest.NewServer(serve)
 		t.Cleanup(srv.Close)
 		f.stores = append(f.stores, ss)
+		f.handlers = append(f.handlers, h)
 		f.admins = append(f.admins, admin)
 		f.srvs = append(f.srvs, srv)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/dynagg/dynagg/internal/httpapi"
 	"github.com/dynagg/dynagg/internal/metrics"
+	"github.com/dynagg/dynagg/internal/obs"
 )
 
 // Handler exposes the service's current state over HTTP, mounted under
@@ -95,6 +96,11 @@ func (s *Service) serveMetrics(w http.ResponseWriter) {
 	b.Int("dynagg_track_wasted_queries_total", v.Wasted)
 	b.Family("dynagg_track_drill_downs_total", "counter", "Drill-down operations completed (estimator lifetime).")
 	b.Int("dynagg_track_drill_downs_total", v.Drills)
+	b.Family("dynagg_track_round_seconds", "histogram", "Per-round wall time: churn hook, estimator step and checkpoint write.")
+	rs := s.RoundLatency()
+	b.Histogram("dynagg_track_round_seconds", obs.Bounds(), rs.Counts, rs.SumSeconds)
+	b.Family("dynagg_track_last_round_ms", "gauge", "Wall time of the last executed round in milliseconds.")
+	b.Value("dynagg_track_last_round_ms", v.LastRoundMs)
 	b.Family("dynagg_track_estimate", "gauge", "Current estimate per tracked aggregate.")
 	for _, e := range v.Estimates {
 		if e.OK {

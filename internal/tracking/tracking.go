@@ -34,6 +34,7 @@ import (
 	"github.com/dynagg/dynagg/internal/agg"
 	"github.com/dynagg/dynagg/internal/estimator"
 	"github.com/dynagg/dynagg/internal/hiddendb"
+	"github.com/dynagg/dynagg/internal/obs"
 	"github.com/dynagg/dynagg/internal/schema"
 )
 
@@ -100,6 +101,10 @@ type Service struct {
 	// Owned by the stepping goroutine; readers see the copy in the view.
 	totalQueries int
 
+	// roundHist distributes per-round wall time (churn + estimator step +
+	// checkpoint); /v1/metrics exports it as dynagg_track_round_seconds.
+	roundHist obs.Histogram
+
 	mu      sync.RWMutex
 	est     estimator.Estimator // guarded: Step on the run goroutine, reads via view
 	view    View
@@ -121,13 +126,17 @@ type View struct {
 	// Wasted is the estimator's lifetime count of speculatively issued
 	// queries whose walks were never applied — the price of concurrent
 	// issuance on rounds that abort (persisted with the checkpoint).
-	Wasted    int              `json:"wasted_queries"`
-	Drills    int              `json:"drill_downs"`
-	Steps     int              `json:"steps_this_process"`
-	Resumed   bool             `json:"resumed"`
-	LastStep  time.Time        `json:"last_step"`
-	LastError string           `json:"last_error,omitempty"`
-	Estimates []EstimateStatus `json:"estimates"`
+	Wasted   int       `json:"wasted_queries"`
+	Drills   int       `json:"drill_downs"`
+	Steps    int       `json:"steps_this_process"`
+	Resumed  bool      `json:"resumed"`
+	LastStep time.Time `json:"last_step"`
+	// LastRoundMs is the wall time of the last executed round — churn
+	// hook, estimator step and checkpoint write included (0 before the
+	// first step of this process).
+	LastRoundMs float64          `json:"last_round_ms"`
+	LastError   string           `json:"last_error,omitempty"`
+	Estimates   []EstimateStatus `json:"estimates"`
 }
 
 // EstimateStatus is one aggregate's current estimate.
@@ -204,6 +213,11 @@ func New(sch *schema.Schema, source SessionSource, cfg Config) (*Service, error)
 	return s, nil
 }
 
+// RoundLatency snapshots the per-round wall-time histogram — the data
+// behind the dynagg_track_round_seconds family (and the fleet daemon's
+// per-task equivalent).
+func (s *Service) RoundLatency() obs.HistogramSnapshot { return s.roundHist.Snapshot() }
+
 // Resumed reports whether New loaded estimator state from a checkpoint.
 func (s *Service) Resumed() bool { return s.CurrentView().Resumed }
 
@@ -266,6 +280,7 @@ func (s *Service) StepBudget(g int) error {
 	resumed, steps := s.view.Resumed, s.view.Steps
 	s.mu.RUnlock()
 
+	roundStart := time.Now()
 	err := s.stepEstimator(g)
 	if err == nil {
 		if cerr := s.checkpoint(); cerr != nil {
@@ -274,8 +289,11 @@ func (s *Service) StepBudget(g int) error {
 			steps++
 		}
 	}
+	roundDur := time.Since(roundStart)
+	s.roundHist.Observe(roundDur)
 	v := s.buildView(g, resumed, steps, err)
 	v.LastStep = time.Now()
+	v.LastRoundMs = obs.DurationMs(roundDur)
 	s.mu.Lock()
 	s.view = v
 	s.stepErr = err

@@ -50,6 +50,7 @@ import (
 	"github.com/dynagg/dynagg/internal/hiddendb"
 	"github.com/dynagg/dynagg/internal/httpapi"
 	"github.com/dynagg/dynagg/internal/metrics"
+	"github.com/dynagg/dynagg/internal/obs"
 	"github.com/dynagg/dynagg/internal/schema"
 )
 
@@ -145,7 +146,10 @@ var _ Backend = (*hiddendb.ShardedIface)(nil)
 //	GET  /v1/stats            → wireStats
 //	GET  /v1/healthz          → {"status":"ok","api_version":"v1"}
 //	GET  /v1/metrics          → Prometheus-style plaintext (query counts,
-//	                            serving version, per-key budget accounting)
+//	                            serving version, per-key budget accounting,
+//	                            per-route latency histograms)
+//	GET  /v1/debug/requests   → recent slow/failed requests (trace ID,
+//	                            route, outcome, latency), newest first
 //
 // Errors are the internal/httpapi JSON envelope.
 //
@@ -161,11 +165,45 @@ type Handler struct {
 	mu           sync.Mutex
 	perKeyBudget int
 	used         map[string]int
+
+	// lat holds the per-route latency histograms /v1/metrics exports as
+	// dynagg_serve_request_seconds. Observes are lock-free atomic adds,
+	// so the warm-GET alloc budget is untouched; the GET search route is
+	// split by answer-cache outcome (hit/miss/error).
+	lat struct {
+		searchHit, searchMiss, searchErr obs.Histogram
+		searchBatch, searchBatchErr      obs.Histogram
+		schema, stats                    obs.Histogram
+	}
+	// reqlog is the fixed-size ring of recent slow/failed requests
+	// served at /v1/debug/requests; failures always record, successes
+	// only at or above the slow threshold, so the hot path pays two
+	// comparisons.
+	reqlog *obs.RequestLog
 }
+
+// Request-log defaults: big enough to catch a burst, slow enough that a
+// healthy warm cache never records (and so never allocates) on the hot
+// path.
+const (
+	DefaultDebugRequests = 64
+	DefaultSlowRequest   = 50 * time.Millisecond
+)
 
 // NewHandler wraps a search backend for serving.
 func NewHandler(b Backend) *Handler {
-	return &Handler{b: b, used: make(map[string]int)}
+	return &Handler{
+		b:      b,
+		used:   make(map[string]int),
+		reqlog: obs.NewRequestLog(DefaultDebugRequests, DefaultSlowRequest),
+	}
+}
+
+// SetRequestLog resizes the /v1/debug/requests ring: size <= 0 disables
+// recording, slow <= 0 records every request (tests, short debugging
+// sessions). Call before serving — the log is swapped, not drained.
+func (h *Handler) SetRequestLog(size int, slow time.Duration) {
+	h.reqlog = obs.NewRequestLog(size, slow)
 }
 
 // SetPerKeyBudget caps the searches each API key may issue per round
@@ -202,7 +240,9 @@ func (h *Handler) consumeBudget(key string) bool {
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
 	case "/v1/schema":
+		start := time.Now()
 		h.serveSchema(w)
+		h.lat.schema.Observe(time.Since(start))
 	case "/v1/search":
 		if r.Method == http.MethodPost {
 			h.serveSearchBatch(w, r)
@@ -210,7 +250,9 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		h.serveSearch(w, r)
 	case "/v1/stats":
+		start := time.Now()
 		h.serveStats(w)
+		h.lat.stats.Observe(time.Since(start))
 	case "/v1/healthz":
 		httpapi.WriteJSON(w, http.StatusOK, map[string]string{
 			"status":      "ok",
@@ -218,6 +260,8 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		})
 	case "/v1/metrics":
 		h.serveMetrics(w)
+	case "/v1/debug/requests":
+		h.reqlog.ServeJSON(w)
 	default:
 		httpapi.WriteError(w, http.StatusNotFound, httpapi.CodeNotFound, "no such route: "+r.URL.Path)
 	}
@@ -263,6 +307,19 @@ func (h *Handler) serveMetrics(w http.ResponseWriter) {
 			b.Int("dynagg_serve_key_budget_remaining", -1, "key", k)
 		}
 	}
+	b.Family("dynagg_serve_request_seconds", "histogram", "Handler latency by route; GET search is split by answer-cache outcome.")
+	bounds := obs.Bounds()
+	emit := func(hist *obs.Histogram, labels ...string) {
+		s := hist.Snapshot()
+		b.Histogram("dynagg_serve_request_seconds", bounds, s.Counts, s.SumSeconds, labels...)
+	}
+	emit(&h.lat.searchHit, "route", routeSearch, "outcome", outcomeHit)
+	emit(&h.lat.searchMiss, "route", routeSearch, "outcome", outcomeMiss)
+	emit(&h.lat.searchErr, "route", routeSearch, "outcome", outcomeError)
+	emit(&h.lat.searchBatch, "route", routeSearchBatch, "outcome", outcomeBatch)
+	emit(&h.lat.searchBatchErr, "route", routeSearchBatch, "outcome", outcomeError)
+	emit(&h.lat.schema, "route", "schema")
+	emit(&h.lat.stats, "route", "stats")
 	w.Header().Set("Content-Type", metrics.ContentType)
 	_, _ = b.WriteTo(w)
 }
@@ -345,11 +402,13 @@ func (h *Handler) wireResultOf(res hiddendb.Result) wireResult {
 // Only a miss constructs a Query and runs the engine — and even then the
 // encode it pays is memoized for every later hit at this version.
 func (h *Handler) serveSearch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	sc := getReqScratch()
 	defer putReqScratch(sc)
 	qkey, err := h.parseSearchParams(r, sc)
 	if err != nil {
 		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
+		h.recordSearchFailure(r, start, routeSearch, http.StatusBadRequest, err.Error())
 		return
 	}
 	key := r.Header.Get("X-API-Key")
@@ -361,20 +420,76 @@ func (h *Handler) serveSearch(w http.ResponseWriter, r *http.Request) {
 	if !h.consumeBudget(key) {
 		httpapi.WriteError(w, http.StatusTooManyRequests, httpapi.CodeBudgetExhausted,
 			"per-round query budget exhausted")
+		h.recordSearchFailure(r, start, routeSearch, http.StatusTooManyRequests, "per-round query budget exhausted")
 		return
 	}
 	sortPreds(sc.preds)
 	sc.key = hiddendb.AppendPredsKey(sc.key[:0], sc.preds)
 	if a, ok := h.b.LookupAnswer(sc.key); ok {
 		h.writeAnswer(w, a)
+		h.finishSearch(r, start, &h.lat.searchHit, outcomeHit)
 		return
 	}
 	a, err := h.b.SearchAnswer(hiddendb.NewQuery(sc.preds...))
 	if err != nil {
 		httpapi.WriteError(w, http.StatusInternalServerError, httpapi.CodeInternal, err.Error())
+		h.recordSearchFailure(r, start, routeSearch, http.StatusInternalServerError, err.Error())
 		return
 	}
 	h.writeAnswer(w, a)
+	h.finishSearch(r, start, &h.lat.searchMiss, outcomeMiss)
+}
+
+// Route and outcome label values for dynagg_serve_request_seconds and
+// the request log.
+const (
+	routeSearch      = "search"
+	routeSearchBatch = "search_batch"
+	outcomeHit       = "hit"
+	outcomeMiss      = "miss"
+	outcomeError     = "error"
+	outcomeBatch     = "batch"
+)
+
+// finishSearch closes a successful search: one lock-free histogram
+// Observe — no allocation, keeping the warm-GET budget at the single
+// response write — plus a ring record only when the request was slow.
+func (h *Handler) finishSearch(r *http.Request, start time.Time, hist *obs.Histogram, outcome string) {
+	d := time.Since(start)
+	hist.Observe(d)
+	if h.reqlog.Qualifies(d, false) {
+		h.reqlog.Record(obs.RequestRecord{
+			Trace:      r.Header.Get(obs.TraceHeader),
+			Route:      routeSearch,
+			Status:     http.StatusOK,
+			DurationMs: obs.DurationMs(d),
+			Outcome:    outcome,
+			Epoch:      h.b.Version(),
+		})
+	}
+}
+
+// recordSearchFailure observes a failed request into the route's error
+// histogram and always records it in the ring — error paths already
+// allocate, so the record costs nothing the envelope didn't.
+func (h *Handler) recordSearchFailure(r *http.Request, start time.Time, route string, status int, detail string) {
+	d := time.Since(start)
+	if route == routeSearch {
+		h.lat.searchErr.Observe(d)
+	} else {
+		h.lat.searchBatchErr.Observe(d)
+	}
+	if h.reqlog.Qualifies(d, true) {
+		h.reqlog.Record(obs.RequestRecord{
+			Trace:      r.Header.Get(obs.TraceHeader),
+			Route:      route,
+			Status:     status,
+			DurationMs: obs.DurationMs(d),
+			Outcome:    outcomeError,
+			Epoch:      h.b.Version(),
+			Detail:     detail,
+		})
+	}
 }
 
 // serveSearchBatch answers a POST /search: many queries, one round trip,
@@ -403,15 +518,18 @@ func decodeBatch(body []byte, sc *reqScratch) error {
 }
 
 func (h *Handler) serveSearchBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	sc := getReqScratch()
 	defer putReqScratch(sc)
 	body, err := readBody(r.Body, sc)
 	if err != nil {
 		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, "batch decode: "+err.Error())
+		h.recordSearchFailure(r, start, routeSearchBatch, http.StatusBadRequest, "batch decode: "+err.Error())
 		return
 	}
 	if err := decodeBatch(body, sc); err != nil {
 		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, "batch decode: "+err.Error())
+		h.recordSearchFailure(r, start, routeSearchBatch, http.StatusBadRequest, "batch decode: "+err.Error())
 		return
 	}
 	qs := append(sc.qs[:0], make([]hiddendb.Query, len(sc.req.Queries))...)
@@ -421,6 +539,7 @@ func (h *Handler) serveSearchBatch(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest,
 				fmt.Sprintf("query %d: %s", i, err))
+			h.recordSearchFailure(r, start, routeSearchBatch, http.StatusBadRequest, err.Error())
 			return
 		}
 		qs[i] = q
@@ -464,6 +583,18 @@ func (h *Handler) serveSearchBatch(w http.ResponseWriter, r *http.Request) {
 	sc.buf = buf
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(buf)
+	d := time.Since(start)
+	h.lat.searchBatch.Observe(d)
+	if h.reqlog.Qualifies(d, false) {
+		h.reqlog.Record(obs.RequestRecord{
+			Trace:      r.Header.Get(obs.TraceHeader),
+			Route:      routeSearchBatch,
+			Status:     http.StatusOK,
+			DurationMs: obs.DurationMs(d),
+			Outcome:    outcomeBatch,
+			Epoch:      h.b.Version(),
+		})
+	}
 }
 
 func parsePred(raw string) (int, uint16, error) {
@@ -738,6 +869,11 @@ func (c *Client) batchAttempt(ctx context.Context, qs []hiddendb.Query) (items [
 	if c.opts.APIKey != "" {
 		hreq.Header.Set("X-API-Key", c.opts.APIKey)
 	}
+	if id := obs.TraceID(ctx); id != "" {
+		// Forward the caller's trace ID so the receiving daemon's request
+		// log and logs correlate with the originating router entry.
+		hreq.Header.Set(obs.TraceHeader, id)
+	}
 	resp, err := c.http.Do(hreq)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -794,6 +930,10 @@ func (c *Client) attempt(ctx context.Context, q hiddendb.Query) (res hiddendb.Re
 	}
 	if c.opts.APIKey != "" {
 		req.Header.Set("X-API-Key", c.opts.APIKey)
+	}
+	if id := obs.TraceID(ctx); id != "" {
+		// Forward the caller's trace ID (see batchAttempt).
+		req.Header.Set(obs.TraceHeader, id)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
